@@ -1,0 +1,116 @@
+// Command gem5rtl is the general full-system simulation runner: it builds
+// the Table 1 SoC with the selected memory technology and optional RTL
+// devices, runs a guest workload, and dumps gem5-style statistics.
+//
+// Examples:
+//
+//	gem5rtl -cores 1 -mem DDR4-4ch -program sort -n 200
+//	gem5rtl -mem HBM -nvdla 4 -inflight 64 -dla-workload sanity3
+//	gem5rtl -cores 1 -pmu -program stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/pmu"
+	"gem5rtl/internal/port"
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/soc"
+	"gem5rtl/internal/trace"
+	"gem5rtl/internal/workload"
+)
+
+func main() {
+	cores := flag.Int("cores", 8, "number of CPU cores")
+	memName := flag.String("mem", "DDR4-4ch", "memory: ideal, DDR4-1ch/2ch/4ch, GDDR5, HBM")
+	program := flag.String("program", "sort", "guest program: sort, loop, stream, none")
+	n := flag.Int("n", 200, "workload size parameter")
+	withPMU := flag.Bool("pmu", false, "attach the PMU RTL model to core 0")
+	nvdlas := flag.Int("nvdla", 0, "number of NVDLA accelerator instances")
+	inflight := flag.Int("inflight", 64, "per-NVDLA max in-flight memory requests")
+	dlaWorkload := flag.String("dla-workload", "sanity3", "NVDLA trace: sanity3 or googlenet")
+	dlaScale := flag.Int("dla-scale", 8, "NVDLA trace footprint divisor")
+	scratchpad := flag.Bool("scratchpad", false, "hook NVDLA SRAMIF to an on-chip scratchpad (paper §4.2 extension)")
+	limitMs := flag.Int("limit-ms", 2000, "simulated time limit in milliseconds")
+	flag.Parse()
+
+	cfg := soc.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.Memory = *memName
+	cfg.WithPMU = *withPMU
+	cfg.NVDLAs = *nvdlas
+	cfg.NVDLAMaxInflight = *inflight
+	cfg.NVDLAScratchpad = *scratchpad
+	s, err := soc.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *withPMU {
+		s.PMU.Start()
+		host := experiments.NewAXIHost(s.Queue)
+		port.Bind(host.Port(), s.PMU.CPUPort(0))
+		// Enable commit lines 0-3, the L1D miss line and the cycle line.
+		host.Write(pmu.RegEnable, 0x3F)
+	}
+
+	var src string
+	switch *program {
+	case "sort":
+		src = workload.SortBenchmark(workload.SortParams{N: *n, SleepUs: 100})
+	case "loop":
+		src = workload.SimpleLoop(*n)
+	case "stream":
+		src = workload.MemoryStream(0x400000, *n)
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown program %q", *program))
+	}
+	running := 0
+	if src != "" {
+		if err := s.LoadProgram(0, src); err != nil {
+			fatal(err)
+		}
+		running++
+		s.Cores[0].OnExit = func(int64) {
+			running--
+			if running == 0 && *nvdlas == 0 {
+				s.Queue.ExitSimLoop("program exit")
+			}
+		}
+		s.StartCores(0)
+	}
+
+	for i := 0; i < *nvdlas; i++ {
+		s.NVDLAs[i].Start()
+		tr, err := trace.Scaled(*dlaWorkload, uint64(i+1)<<32, *dlaScale)
+		if err != nil {
+			fatal(err)
+		}
+		s.PlayTrace(i, tr)
+	}
+
+	limit := sim.Tick(*limitMs) * sim.Millisecond
+	if *nvdlas > 0 {
+		done, err := s.RunUntilNVDLAsDone(limit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# accelerators finished at %.3f ms simulated\n",
+			float64(done)/float64(sim.Millisecond))
+	} else {
+		s.Queue.RunUntil(limit)
+	}
+
+	fmt.Printf("# simulated %.3f ms (%d events)\n",
+		float64(s.Queue.Now())/float64(sim.Millisecond), s.Queue.Dispatched())
+	s.Stats.Dump(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gem5rtl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command nvdla-dse reproduces the NVDLA design-space exploration of §6.2
+// (Figures 6 and 7): it sweeps the maximum in-flight request cap, the memory
+// technology, and the number of accelerator instances, printing performance
+// normalised to an ideal 1-cycle main memory in the same layout as the
+// paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+func main() {
+	workload := flag.String("workload", "googlenet", "googlenet (Figure 6) or sanity3 (Figure 7)")
+	scale := flag.Int("scale", 8, "trace footprint divisor (1 = full synthetic layers)")
+	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	flag.Parse()
+
+	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
+	var report func(string)
+	if *verbose {
+		report = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	points, err := experiments.RunDSEFigure(*workload, p, report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
+		os.Exit(1)
+	}
+
+	fig := "Figure 6"
+	if *workload == "sanity3" {
+		fig = "Figure 7"
+	}
+	fmt.Printf("# %s: %s, performance normalised to ideal 1-cycle memory\n", fig, *workload)
+	for _, n := range experiments.NVDLACounts {
+		fmt.Printf("\n## %d NVDLA accelerator(s)\n", n)
+		fmt.Printf("%-10s", "mem\\inflight")
+		for _, inf := range experiments.InflightSweep {
+			fmt.Printf("  %6d", inf)
+		}
+		fmt.Println()
+		for _, tech := range []string{"DDR4-1ch", "DDR4-2ch", "DDR4-4ch", "GDDR5", "HBM"} {
+			fmt.Printf("%-10s", tech)
+			for _, inf := range experiments.InflightSweep {
+				for _, pt := range points {
+					if pt.NVDLAs == n && pt.Memory == tech && pt.Inflight == inf {
+						fmt.Printf("  %6.3f", pt.Perf)
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command overhead reproduces the simulation-time overhead studies: Table 2
+// (gem5 vs gem5+PMU vs gem5+PMU+waveform on the sort benchmark) and Table 3
+// (standalone RTL-model execution vs full-system with perfect memory vs
+// full-system with DDR4-4ch on the NVDLA workloads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 3, "which table to reproduce: 2 or 3")
+	scale := flag.Int("scale", 8, "NVDLA trace footprint divisor (table 3)")
+	flag.Parse()
+
+	switch *table {
+	case 2:
+		cells, err := experiments.RunTable2(experiments.DefaultTable2Sizes(), 100)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("# Table 2: host time normalised to gem5 without PMU")
+		fmt.Printf("%-22s %8s %10s %10s\n", "config", "size", "host", "overhead")
+		for _, c := range cells {
+			fmt.Printf("%-22s %8d %10s %10.2f\n", c.Config, c.Size,
+				c.HostTime.Round(1e6), c.Overhead)
+		}
+	case 3:
+		rows, err := experiments.RunTable3(experiments.DSEParams{
+			Scale: *scale, Limit: 8 * sim.Second})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("# Table 3: host time normalised to the standalone RTL-model run")
+		fmt.Printf("%-28s %-10s %12s %10s\n", "config", "workload", "host", "overhead")
+		for _, r := range rows {
+			fmt.Printf("%-28s %-10s %12s %10.2f\n", r.Config, r.Workload,
+				r.HostTime.Round(1e5), r.Overhead)
+		}
+	default:
+		fatal(fmt.Errorf("unknown table %d", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overhead:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command pmurun reproduces the PMU use case (§6.1): it runs the three-sort
+// benchmark on the simulated SoC with the PMU RTL model attached, prints the
+// Figure 5 interval series (PMU vs gem5 IPC and MPKI over time), and — with
+// -table2 — the simulation-time overhead matrix of Table 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5rtl/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 250, "selection/bubble sort array size (quicksort gets 10x)")
+	sleepUs := flag.Int("sleep-us", 100, "inter-phase sleep in microseconds")
+	interval := flag.Int("interval", 10000, "PMU interrupt period in PMU cycles")
+	table2 := flag.Bool("table2", false, "run the Table 2 overhead study instead of Figure 5")
+	flag.Parse()
+
+	if *table2 {
+		runTable2(*sleepUs)
+		return
+	}
+
+	p := experiments.Fig5Params{N: *n, SleepUs: *sleepUs, IntervalCycles: *interval}
+	res, err := experiments.RunFigure5(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmurun:", err)
+		os.Exit(1)
+	}
+	fmt.Println("# Figure 5: IPC/MPKI over time, PMU counters vs gem5 statistics")
+	fmt.Println("# time_ms  pmu_ipc  gem5_ipc  pmu_mpki  gem5_mpki")
+	for _, s := range res.Samples {
+		fmt.Printf("%8.4f  %7.3f  %8.3f  %8.2f  %9.2f\n",
+			s.TimeMs, s.PMUIPC, s.Gem5IPC, s.PMUMPKI, s.Gem5MPKI)
+	}
+	fmt.Printf("# totals: PMU committed=%d gem5 committed=%d (loss %.3f%%)\n",
+		res.PMUTotalInsts, res.Gem5TotalInsts,
+		100*(1-float64(res.PMUTotalInsts)/float64(res.Gem5TotalInsts)))
+	fmt.Printf("# simulated %v ticks in %v host time\n", res.SimTicks, res.HostTime)
+}
+
+func runTable2(sleepUs int) {
+	sizes := experiments.DefaultTable2Sizes()
+	cells, err := experiments.RunTable2(sizes, sleepUs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmurun:", err)
+		os.Exit(1)
+	}
+	fmt.Println("# Table 2: simulation-time overhead normalised to gem5 without the PMU")
+	fmt.Printf("%-22s", "Configs\\Size")
+	for _, n := range sizes {
+		fmt.Printf("  %8d", n)
+	}
+	fmt.Println()
+	for _, cfg := range experiments.Table2Configs() {
+		fmt.Printf("%-22s", cfg.Name)
+		for _, n := range sizes {
+			for _, c := range cells {
+				if c.Config == cfg.Name && c.Size == n {
+					fmt.Printf("  %8.2f", c.Overhead)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

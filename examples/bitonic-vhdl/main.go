@@ -1,0 +1,64 @@
+// bitonic-vhdl: the paper's GHDL validation design (§4). An 8-lane bitonic
+// sorting network written in VHDL is compiled by gem5rtl's VHDL toolflow —
+// the GHDL stand-in — into the same cycle-accurate model representation the
+// Verilog path produces, then exercised combinationally and through an
+// RTLObject with a VCD waveform dump.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gem5rtl/internal/vhdl"
+)
+
+func main() {
+	src, err := os.ReadFile(sourcePath())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := vhdl.Compile(string(src), "bitonic8", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vcd, err := os.Create("bitonic.vcd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vcd.Close()
+	w := model.AttachVCD(vcd, 1)
+	defer w.Flush()
+
+	inputs := [][8]uint8{
+		{42, 7, 99, 1, 65, 23, 88, 12},
+		{5, 4, 3, 2, 1, 0, 255, 128},
+		{9, 9, 9, 1, 1, 1, 5, 5},
+	}
+	for _, vals := range inputs {
+		var lo, hi uint64
+		for i := 0; i < 4; i++ {
+			lo |= uint64(vals[i]) << (8 * i)
+			hi |= uint64(vals[4+i]) << (8 * i)
+		}
+		model.SetInput("in_lo", lo)
+		model.SetInput("in_hi", hi)
+		model.Tick() // clocked tick records the waveform step
+		olo, ohi := model.Peek("out_lo"), model.Peek("out_hi")
+		var sorted [8]uint8
+		for i := 0; i < 4; i++ {
+			sorted[i] = uint8(olo >> (8 * i))
+			sorted[4+i] = uint8(ohi >> (8 * i))
+		}
+		fmt.Printf("%v -> %v\n", vals, sorted)
+	}
+	fmt.Println("waveform written to bitonic.vcd")
+}
+
+// sourcePath locates the VHDL next to this example.
+func sourcePath() string {
+	if _, err := os.Stat("sorter.vhd"); err == nil {
+		return "sorter.vhd"
+	}
+	return "examples/bitonic-vhdl/sorter.vhd"
+}

@@ -1,0 +1,3 @@
+module gem5rtl
+
+go 1.22

@@ -1,0 +1,85 @@
+// Package axi defines the AMBA AXI-style channel structures the gem5rtl
+// wrappers use to talk to RTL models: the PMU is programmed over an
+// AXI-Lite-style port (Figure 3 of the paper) and the NVDLA's DBBIF/SRAMIF
+// are AXI4-style burst interfaces (Figure 4). Only the architectural payload
+// of each channel is modelled — valid/ready handshakes collapse into the
+// per-tick exchange of these structs, exactly as the paper's wrapper does.
+package axi
+
+// BurstType selects the AXI address-increment mode.
+type BurstType int
+
+// Burst types (WRAP is not used by the modelled devices).
+const (
+	BurstFixed BurstType = iota
+	BurstIncr
+)
+
+// Resp is an AXI response code.
+type Resp int
+
+// Response codes.
+const (
+	RespOK Resp = iota
+	RespSlvErr
+	RespDecErr
+)
+
+// LiteWrite is one AXI-Lite write: address + 32-bit data + strobe.
+type LiteWrite struct {
+	Addr uint32
+	Data uint32
+	Strb uint8 // byte-lane strobe, 0xF = all lanes
+}
+
+// LiteRead is one AXI-Lite read request.
+type LiteRead struct {
+	Addr uint32
+}
+
+// LiteReadResp carries read data back.
+type LiteReadResp struct {
+	Data uint32
+	Resp Resp
+}
+
+// LiteWriteResp acknowledges a write.
+type LiteWriteResp struct {
+	Resp Resp
+}
+
+// ReadReq is an AXI4 read-address-channel beat (AR).
+type ReadReq struct {
+	ID    uint64
+	Addr  uint64
+	Len   int // beats - 1, per AXI encoding
+	Size  int // bytes per beat
+	Burst BurstType
+}
+
+// TotalBytes returns the byte length of the whole burst.
+func (r ReadReq) TotalBytes() int { return (r.Len + 1) * r.Size }
+
+// ReadData is an AXI4 read-data-channel beat (R).
+type ReadData struct {
+	ID   uint64
+	Data []byte
+	Last bool
+	Resp Resp
+}
+
+// WriteReq is an AXI4 write-address beat (AW) with its data beats folded in
+// (W), as the wrappers exchange whole transactions per tick.
+type WriteReq struct {
+	ID    uint64
+	Addr  uint64
+	Size  int
+	Burst BurstType
+	Data  []byte
+}
+
+// WriteResp is an AXI4 write-response beat (B).
+type WriteResp struct {
+	ID   uint64
+	Resp Resp
+}

@@ -1,0 +1,33 @@
+package axi
+
+import "testing"
+
+func TestReadReqTotalBytes(t *testing.T) {
+	// AXI encodes Len as beats-1.
+	r := ReadReq{Len: 3, Size: 64}
+	if r.TotalBytes() != 256 {
+		t.Fatalf("TotalBytes = %d", r.TotalBytes())
+	}
+	single := ReadReq{Len: 0, Size: 64}
+	if single.TotalBytes() != 64 {
+		t.Fatalf("single-beat TotalBytes = %d", single.TotalBytes())
+	}
+}
+
+func TestRespCodes(t *testing.T) {
+	if RespOK != 0 {
+		t.Fatal("RespOK must be the zero value (default-OK responses)")
+	}
+	if RespOK == RespSlvErr || RespSlvErr == RespDecErr {
+		t.Fatal("response codes not distinct")
+	}
+}
+
+func TestLiteStructsZeroValue(t *testing.T) {
+	// Zero-value channel beats must be usable (idle bus).
+	var w LiteWrite
+	var r LiteReadResp
+	if w.Strb != 0 || r.Resp != RespOK {
+		t.Fatal("zero values wrong")
+	}
+}

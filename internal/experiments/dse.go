@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/soc"
+	"gem5rtl/internal/trace"
+)
+
+// InflightSweep is the x-axis of Figures 6 and 7.
+var InflightSweep = []int{1, 4, 8, 16, 32, 64, 128, 240}
+
+// NVDLACounts is the per-subfigure accelerator count.
+var NVDLACounts = []int{1, 2, 4}
+
+// DSEPoint is one cell of the design-space exploration.
+type DSEPoint struct {
+	Workload string
+	NVDLAs   int
+	Memory   string // includes "ideal" for the baseline
+	Inflight int
+	// Ticks is the completion time of the slowest accelerator.
+	Ticks sim.Tick
+	// Perf is Ticks(ideal at same inflight & count) / Ticks — the figures'
+	// "performance normalised to ideal memory".
+	Perf float64
+}
+
+// DSEParams scales the experiment.
+type DSEParams struct {
+	// Scale divides the trace footprints (1 = paper-sized synthetic layers;
+	// larger values shrink runs proportionally — ratios are preserved since
+	// baseline and subject scale together).
+	Scale int
+	// Limit bounds one run's simulated time.
+	Limit sim.Tick
+}
+
+// DefaultDSEParams returns the standard scaled configuration.
+func DefaultDSEParams() DSEParams {
+	return DSEParams{Scale: 8, Limit: 4 * sim.Second}
+}
+
+// buildTrace regenerates the named workload with its footprint divided by
+// scale (ratios between baseline and subject runs are unaffected).
+func buildTrace(workload string, base uint64, scale int) (*trace.Trace, error) {
+	return trace.Scaled(workload, base, scale)
+}
+
+// RunDSEPoint measures one configuration: n accelerator instances, each
+// running its own copy of the workload trace (the paper's setup), on the
+// named memory technology with the given in-flight cap.
+func RunDSEPoint(workload string, nDLA int, memory string, inflight int, p DSEParams) (sim.Tick, error) {
+	cfg := soc.DefaultConfig()
+	cfg.Cores = 1 // host cores idle during accelerator runs; keep one for realism
+	cfg.Memory = memory
+	cfg.NVDLAs = nDLA
+	cfg.NVDLAMaxInflight = inflight
+	s, err := soc.Build(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < nDLA; i++ {
+		s.NVDLAs[i].Start()
+		tr, err := buildTrace(workload, uint64(i+1)<<32, p.Scale)
+		if err != nil {
+			return 0, err
+		}
+		s.PlayTrace(i, tr)
+	}
+	done, err := s.RunUntilNVDLAsDone(p.Limit)
+	if err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+// RunDSEFigure reproduces Figure 6 (workload "googlenet") or Figure 7
+// (workload "sanity3"): the full sweep over accelerator counts, memory
+// technologies and in-flight caps, normalised per (count, inflight) to the
+// ideal-memory run. Progress lines go through report (may be nil).
+func RunDSEFigure(workload string, p DSEParams, report func(string)) ([]DSEPoint, error) {
+	say := func(format string, args ...any) {
+		if report != nil {
+			report(fmt.Sprintf(format, args...))
+		}
+	}
+	var points []DSEPoint
+	for _, n := range NVDLACounts {
+		for _, inflight := range InflightSweep {
+			idealT, err := RunDSEPoint(workload, n, "ideal", inflight, p)
+			if err != nil {
+				return nil, fmt.Errorf("ideal baseline (n=%d if=%d): %w", n, inflight, err)
+			}
+			points = append(points, DSEPoint{
+				Workload: workload, NVDLAs: n, Memory: "ideal",
+				Inflight: inflight, Ticks: idealT, Perf: 1,
+			})
+			for _, tech := range memTechs() {
+				start := time.Now()
+				t, err := RunDSEPoint(workload, n, tech, inflight, p)
+				if err != nil {
+					return nil, fmt.Errorf("%s n=%d if=%d: %w", tech, n, inflight, err)
+				}
+				points = append(points, DSEPoint{
+					Workload: workload, NVDLAs: n, Memory: tech,
+					Inflight: inflight, Ticks: t,
+					Perf: float64(idealT) / float64(t),
+				})
+				say("%s n=%d inflight=%3d %-9s perf=%.3f (%s host)",
+					workload, n, inflight, tech, float64(idealT)/float64(t),
+					time.Since(start).Round(time.Millisecond))
+			}
+		}
+	}
+	return points, nil
+}
+
+func memTechs() []string {
+	return []string{"DDR4-1ch", "DDR4-2ch", "DDR4-4ch", "GDDR5", "HBM"}
+}
+
+// Table3Row is one configuration of the NVDLA simulation-time study.
+type Table3Row struct {
+	Config   string
+	Workload string
+	HostTime time.Duration
+	// Overhead is normalised to the standalone RTL-model run.
+	Overhead float64
+}
+
+// RunTable3 reproduces Table 3: host wall-clock of (a) the standalone
+// accelerator model with an ideal zero-latency memory loop (the paper's
+// standalone Verilator run with NVIDIA's nvdla.cpp wrapper), (b) the
+// full-system simulation with perfect memory, and (c) with DDR4-4ch —
+// each running sanity3 and googlenet once.
+func RunTable3(p DSEParams) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, wl := range []string{"sanity3", "googlenet"} {
+		standalone, err := runStandalone(wl, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{Config: "standalone-rtl", Workload: wl,
+			HostTime: standalone, Overhead: 1.0})
+		for _, memName := range []string{"ideal", "DDR4-4ch"} {
+			start := time.Now()
+			if _, err := RunDSEPoint(wl, 1, memName, 240, p); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			name := "gem5+NVDLA+perfect-memory"
+			if memName != "ideal" {
+				name = "gem5+NVDLA+DDR4"
+			}
+			rows = append(rows, Table3Row{Config: name, Workload: wl,
+				HostTime: elapsed, Overhead: float64(elapsed) / float64(standalone)})
+		}
+	}
+	return rows, nil
+}
+
+// RunStandaloneOnce is the exported single-run entry for benchmarks.
+func RunStandaloneOnce(workload string, p DSEParams) (time.Duration, error) {
+	return runStandalone(workload, p)
+}
+
+// runStandalone ticks the accelerator wrapper directly against a
+// zero-latency memory, like running the Verilated model with its bundled
+// testbench wrapper: no SoC, no trace-into-memory load phase.
+func runStandalone(workload string, p DSEParams) (time.Duration, error) {
+	tr, err := trace.Scaled(workload, 0, p.Scale)
+	if err != nil {
+		return 0, err
+	}
+	return trace.RunStandalone(tr), nil
+}

@@ -1,0 +1,363 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates RV-lite assembly text into a flat instruction image.
+// Syntax: one instruction or label per line; `;` and `#` start comments;
+// labels end with a colon. Branch and jal targets are labels (or numeric
+// byte offsets); `li`, `mv`, `j`, `ret`, `call`, `bgt`, `ble`, `bgtu`,
+// `bleu`, and `beqz`/`bnez` pseudo-instructions are expanded.
+func Assemble(src string) ([]byte, error) {
+	type pending struct {
+		inst  Inst
+		label string // branch/jal target to resolve
+		line  int
+	}
+	var prog []pending
+	labels := map[string]int{} // label -> instruction index
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t,") {
+				label := strings.TrimSpace(line[:i])
+				if _, dup := labels[label]; dup {
+					return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+				}
+				labels[label] = len(prog)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		insts, targets, err := parseLine(line, lineNo+1)
+		if err != nil {
+			return nil, err
+		}
+		for k, in := range insts {
+			prog = append(prog, pending{inst: in, label: targets[k], line: lineNo + 1})
+		}
+	}
+
+	out := make([]byte, 0, len(prog)*InstBytes)
+	for idx, p := range prog {
+		in := p.inst
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("isa: line %d: undefined label %q", p.line, p.label)
+			}
+			in.Imm = int32((target - idx) * InstBytes)
+		}
+		enc := in.Encode()
+		out = append(out, enc[:]...)
+	}
+	return out, nil
+}
+
+// MustAssemble panics on assembly errors; for embedded guest programs.
+func MustAssemble(src string) []byte {
+	b, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+var regAliases = func() map[string]uint8 {
+	m := map[string]uint8{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	}
+	for i := 0; i <= 7; i++ {
+		m[fmt.Sprintf("a%d", i)] = uint8(10 + i)
+	}
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("s%d", i)] = uint8(16 + i)
+	}
+	for i := 3; i <= 6; i++ {
+		m[fmt.Sprintf("t%d", i)] = uint8(25 + i)
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = uint8(i)
+	}
+	return m
+}()
+
+func parseReg(s string) (uint8, error) {
+	if r, ok := regAliases[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<31)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// parseMemOperand parses "off(reg)".
+func parseMemOperand(s string) (int32, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int32(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	return off, r, err
+}
+
+var rrOps = map[string]Opcode{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "rem": OpRem,
+	"and": OpAnd, "or": OpOr, "xor": OpXor, "sll": OpSll, "srl": OpSrl,
+	"sra": OpSra, "slt": OpSlt, "sltu": OpSltu,
+}
+
+var riOps = map[string]Opcode{
+	"addi": OpAddi, "andi": OpAndi, "ori": OpOri, "xori": OpXori,
+	"slli": OpSlli, "srli": OpSrli, "srai": OpSrai, "slti": OpSlti,
+}
+
+var branchOps = map[string]Opcode{
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"bltu": OpBltu, "bgeu": OpBgeu,
+}
+
+// parseLine returns the instruction(s) for one line plus, per instruction,
+// an optional label to resolve into the immediate.
+func parseLine(line string, lineNo int) ([]Inst, []string, error) {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		args = strings.Split(rest, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+	}
+	fail := func(format string, a ...any) ([]Inst, []string, error) {
+		return nil, nil, fmt.Errorf("isa: line %d: %s", lineNo, fmt.Sprintf(format, a...))
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("isa: line %d: %s expects %d operands, got %d", lineNo, mnem, n, len(args))
+		}
+		return nil
+	}
+	one := func(in Inst) ([]Inst, []string, error) { return []Inst{in}, []string{""}, nil }
+	oneL := func(in Inst, label string) ([]Inst, []string, error) {
+		return []Inst{in}, []string{label}, nil
+	}
+
+	if op, ok := rrOps[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, nil, err
+		}
+		rd, e1 := parseReg(args[0])
+		rs1, e2 := parseReg(args[1])
+		rs2, e3 := parseReg(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands")
+		}
+		return one(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}
+	if op, ok := riOps[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, nil, err
+		}
+		rd, e1 := parseReg(args[0])
+		rs1, e2 := parseReg(args[1])
+		imm, e3 := parseImm(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands")
+		}
+		return one(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+	}
+	if op, ok := branchOps[mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, nil, err
+		}
+		rs1, e1 := parseReg(args[0])
+		rs2, e2 := parseReg(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		if imm, err := parseImm(args[2]); err == nil {
+			return one(Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm})
+		}
+		return oneL(Inst{Op: op, Rs1: rs1, Rs2: rs2}, args[2])
+	}
+	switch mnem {
+	case "nop":
+		return one(Inst{Op: OpNop})
+	case "ecall":
+		return one(Inst{Op: OpEcall})
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		rd, e1 := parseReg(args[0])
+		imm, e2 := parseImm(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return one(Inst{Op: OpLui, Rd: rd, Imm: imm})
+	case "ld", "lw", "lb", "sd", "sw", "sb":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		r, e1 := parseReg(args[0])
+		off, base, e2 := parseMemOperand(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		op := map[string]Opcode{"ld": OpLd, "lw": OpLw, "lb": OpLb,
+			"sd": OpSd, "sw": OpSw, "sb": OpSb}[mnem]
+		in := Inst{Op: op, Rs1: base, Imm: off}
+		if op.IsLoad() {
+			in.Rd = r
+		} else {
+			in.Rs2 = r
+		}
+		return one(in)
+	case "jal":
+		switch len(args) {
+		case 1: // jal label  (rd = ra)
+			return oneL(Inst{Op: OpJal, Rd: 1}, args[0])
+		case 2:
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return fail("bad register")
+			}
+			if imm, err := parseImm(args[1]); err == nil {
+				return one(Inst{Op: OpJal, Rd: rd, Imm: imm})
+			}
+			return oneL(Inst{Op: OpJal, Rd: rd}, args[1])
+		}
+		return fail("jal expects 1 or 2 operands")
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		rd, e1 := parseReg(args[0])
+		off, base, e2 := parseMemOperand(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return one(Inst{Op: OpJalr, Rd: rd, Rs1: base, Imm: off})
+	// Pseudo-instructions.
+	case "li":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		rd, e1 := parseReg(args[0])
+		imm, e2 := parseImm(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return one(Inst{Op: OpAddi, Rd: rd, Rs1: 0, Imm: imm})
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		rd, e1 := parseReg(args[0])
+		rs, e2 := parseReg(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return one(Inst{Op: OpAddi, Rd: rd, Rs1: rs})
+	case "j":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		return oneL(Inst{Op: OpJal, Rd: 0}, args[0])
+	case "call":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		return oneL(Inst{Op: OpJal, Rd: 1}, args[0])
+	case "ret":
+		return one(Inst{Op: OpJalr, Rd: 0, Rs1: 1})
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return fail("bad register")
+		}
+		op := OpBeq
+		if mnem == "bnez" {
+			op = OpBne
+		}
+		return oneL(Inst{Op: op, Rs1: rs, Rs2: 0}, args[1])
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, nil, err
+		}
+		rs1, e1 := parseReg(args[0])
+		rs2, e2 := parseReg(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		// bgt a,b == blt b,a ; ble a,b == bge b,a
+		var op Opcode
+		switch mnem {
+		case "bgt":
+			op = OpBlt
+		case "ble":
+			op = OpBge
+		case "bgtu":
+			op = OpBltu
+		case "bleu":
+			op = OpBgeu
+		}
+		return oneL(Inst{Op: op, Rs1: rs2, Rs2: rs1}, args[2])
+	}
+	return fail("unknown mnemonic %q", mnem)
+}
+
+// Disassemble renders an instruction image as text, one per line.
+func Disassemble(image []byte) (string, error) {
+	var sb strings.Builder
+	for off := 0; off+InstBytes <= len(image); off += InstBytes {
+		in, err := Decode(image[off:])
+		if err != nil {
+			return sb.String(), fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		fmt.Fprintf(&sb, "%6d: %s\n", off, in)
+	}
+	return sb.String(), nil
+}

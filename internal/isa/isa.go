@@ -1,0 +1,189 @@
+// Package isa defines RV-lite, the small RISC-style guest ISA gem5rtl's
+// timing cores execute. The paper boots Linux on simulated Armv8 cores; per
+// the substitution table in DESIGN.md we instead run statically-linked
+// RV-lite programs over a micro-kernel syscall layer (sleep/print/exit),
+// which provides exactly the workload phases the PMU experiment needs.
+//
+// Instructions are fixed 8-byte words: opcode, rd, rs1, rs2 (one byte each)
+// followed by a 32-bit little-endian immediate. Registers follow RISC-V
+// naming: x0 is hardwired zero, x1/ra is the link register, x2/sp the stack
+// pointer, x10-x17/a0-a7 the argument registers.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpInvalid Opcode = iota
+	// Register-register ALU.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt  // signed set-less-than
+	OpSltu // unsigned
+	// Register-immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // rd = imm << 12
+	// Memory (rd/rs2 value, rs1 base, imm offset).
+	OpLd // 8 bytes
+	OpLw // 4 bytes, zero-extended
+	OpLb // 1 byte, zero-extended
+	OpSd
+	OpSw
+	OpSb
+	// Control flow. Branch/jump immediates are byte offsets from the
+	// instruction's own address.
+	OpBeq
+	OpBne
+	OpBlt // signed
+	OpBge // signed
+	OpBltu
+	OpBgeu
+	OpJal  // rd = pc+8; pc += imm
+	OpJalr // rd = pc+8; pc = rs1 + imm
+	// System.
+	OpEcall
+	OpNop
+	opMax
+)
+
+// InstBytes is the fixed encoding size.
+const InstBytes = 8
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai", OpSlti: "slti", OpLui: "lui",
+	OpLd: "ld", OpLw: "lw", OpLb: "lb", OpSd: "sd", OpSw: "sw", OpSb: "sb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJal: "jal", OpJalr: "jalr", OpEcall: "ecall", OpNop: "nop",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsLoad reports whether the opcode reads memory.
+func (o Opcode) IsLoad() bool { return o == OpLd || o == OpLw || o == OpLb }
+
+// IsStore reports whether the opcode writes memory.
+func (o Opcode) IsStore() bool { return o == OpSd || o == OpSw || o == OpSb }
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (o Opcode) IsBranch() bool { return o >= OpBeq && o <= OpBgeu }
+
+// MemBytes returns the access width of a load/store opcode.
+func (o Opcode) MemBytes() int {
+	switch o {
+	case OpLd, OpSd:
+		return 8
+	case OpLw, OpSw:
+		return 4
+	case OpLb, OpSb:
+		return 1
+	}
+	return 0
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Encode serialises the instruction into its 8-byte form.
+func (i Inst) Encode() [InstBytes]byte {
+	var b [InstBytes]byte
+	b[0] = byte(i.Op)
+	b[1] = i.Rd
+	b[2] = i.Rs1
+	b[3] = i.Rs2
+	binary.LittleEndian.PutUint32(b[4:], uint32(i.Imm))
+	return b
+}
+
+// Decode parses an 8-byte instruction word.
+func Decode(b []byte) (Inst, error) {
+	if len(b) < InstBytes {
+		return Inst{}, fmt.Errorf("isa: short instruction (%d bytes)", len(b))
+	}
+	i := Inst{
+		Op:  Opcode(b[0]),
+		Rd:  b[1],
+		Rs1: b[2],
+		Rs2: b[3],
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+	if i.Op == OpInvalid || i.Op >= opMax {
+		return i, fmt.Errorf("isa: invalid opcode %d", b[0])
+	}
+	if i.Rd > 31 || i.Rs1 > 31 || i.Rs2 > 31 {
+		return i, fmt.Errorf("isa: register out of range in %v", i)
+	}
+	return i, nil
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch {
+	case i.Op == OpNop || i.Op == OpEcall:
+		return i.Op.String()
+	case i.Op.IsLoad():
+		return fmt.Sprintf("%s x%d, %d(x%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case i.Op.IsStore():
+		return fmt.Sprintf("%s x%d, %d(x%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case i.Op.IsBranch():
+		return fmt.Sprintf("%s x%d, x%d, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case i.Op == OpJal:
+		return fmt.Sprintf("jal x%d, %d", i.Rd, i.Imm)
+	case i.Op == OpJalr:
+		return fmt.Sprintf("jalr x%d, %d(x%d)", i.Rd, i.Imm, i.Rs1)
+	case i.Op == OpLui:
+		return fmt.Sprintf("lui x%d, %d", i.Rd, i.Imm)
+	case i.Op >= OpAddi && i.Op <= OpSlti:
+		return fmt.Sprintf("%s x%d, x%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	default:
+		return fmt.Sprintf("%s x%d, x%d, x%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+// Syscall numbers recognised by the micro-kernel (see internal/cpu).
+const (
+	SysExit     = 93   // a0 = exit code
+	SysSleepUs  = 1000 // a0 = microseconds to sleep (the paper's 1 ms sleeps)
+	SysPrintInt = 1001 // a0 = integer to print
+	SysPrintChr = 1002 // a0 = character to print
+	SysCycles   = 1003 // returns current core cycle count in a0
+)

@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Inst{
+			Op: Opcode(op%uint8(opMax-1)) + 1,
+			Rd: rd % 32, Rs1: rs1 % 32, Rs2: rs2 % 32,
+			Imm: imm,
+		}
+		enc := in.Encode()
+		out, err := Decode(enc[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	bad := Inst{Op: OpAdd, Rd: 40}.Encode()
+	if _, err := Decode(bad[:]); err == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+	var zero [InstBytes]byte
+	if _, err := Decode(zero[:]); err == nil {
+		t.Fatal("opcode 0 accepted")
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	img := MustAssemble(`
+start:
+    addi x1, x0, 5
+    add  x2, x1, x1
+    beq  x2, x0, start
+    ecall
+`)
+	if len(img) != 4*InstBytes {
+		t.Fatalf("image %d bytes", len(img))
+	}
+	in, err := Decode(img[2*InstBytes:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beq back to start: offset = -2 instructions.
+	if in.Op != OpBeq || in.Imm != -2*InstBytes {
+		t.Fatalf("branch decoded as %v", in)
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	img := MustAssemble(`
+main:
+    li   a0, 7
+    mv   a1, a0
+    j    end
+    nop
+end:
+    ret
+`)
+	first, _ := Decode(img)
+	if first.Op != OpAddi || first.Rd != 10 || first.Imm != 7 {
+		t.Fatalf("li decoded as %v", first)
+	}
+	jmp, _ := Decode(img[2*InstBytes:])
+	if jmp.Op != OpJal || jmp.Rd != 0 || jmp.Imm != 2*InstBytes {
+		t.Fatalf("j decoded as %v", jmp)
+	}
+	ret, _ := Decode(img[4*InstBytes:])
+	if ret.Op != OpJalr || ret.Rs1 != 1 {
+		t.Fatalf("ret decoded as %v", ret)
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	img := MustAssemble("main:\n    add sp, ra, t0\n")
+	in, _ := Decode(img)
+	if in.Rd != 2 || in.Rs1 != 1 || in.Rs2 != 5 {
+		t.Fatalf("aliases decoded as %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"undefined-label", "main:\n  j nowhere\n", "undefined label"},
+		{"duplicate-label", "a:\na:\n  nop\n", "duplicate label"},
+		{"bad-reg", "main:\n  add x99, x0, x0\n", "bad"},
+		{"bad-mnemonic", "main:\n  frobnicate x1\n", "unknown mnemonic"},
+		{"operand-count", "main:\n  add x1, x2\n", "expects 3 operands"},
+		{"bad-mem-operand", "main:\n  ld x1, x2\n", "bad operands"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	img := MustAssemble("main:\n  ld x5, -16(sp)\n  sd x6, 24(x7)\n")
+	ld, _ := Decode(img)
+	if ld.Op != OpLd || ld.Rd != 5 || ld.Rs1 != 2 || ld.Imm != -16 {
+		t.Fatalf("ld decoded as %v", ld)
+	}
+	sd, _ := Decode(img[InstBytes:])
+	if sd.Op != OpSd || sd.Rs2 != 6 || sd.Rs1 != 7 || sd.Imm != 24 {
+		t.Fatalf("sd decoded as %v", sd)
+	}
+}
+
+func TestDisassembleStrings(t *testing.T) {
+	img := MustAssemble("main:\n  addi x1, x0, 3\n  ld x2, 8(x1)\n  ecall\n")
+	text, err := Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"addi x1, x0, 3", "ld x2, 8(x1)", "ecall"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	if !OpLd.IsLoad() || OpLd.IsStore() || OpLd.MemBytes() != 8 {
+		t.Fatal("OpLd misclassified")
+	}
+	if !OpSb.IsStore() || OpSb.MemBytes() != 1 {
+		t.Fatal("OpSb misclassified")
+	}
+	if !OpBge.IsBranch() || OpJal.IsBranch() {
+		t.Fatal("branch classification wrong")
+	}
+	if OpLw.MemBytes() != 4 || OpAdd.MemBytes() != 0 {
+		t.Fatal("MemBytes wrong")
+	}
+}
+
+func TestBgtBlePseudo(t *testing.T) {
+	img := MustAssemble("main:\n  bgt a0, a1, main\n  ble a0, a1, main\n")
+	bgt, _ := Decode(img)
+	// bgt a0,a1 == blt a1,a0
+	if bgt.Op != OpBlt || bgt.Rs1 != 11 || bgt.Rs2 != 10 {
+		t.Fatalf("bgt decoded as %v", bgt)
+	}
+	ble, _ := Decode(img[InstBytes:])
+	if ble.Op != OpBge || ble.Rs1 != 11 || ble.Rs2 != 10 {
+		t.Fatalf("ble decoded as %v", ble)
+	}
+}

@@ -1,0 +1,127 @@
+package mem
+
+import "gem5rtl/internal/sim"
+
+// DRAMConfig parameterises a DRAM controller. Timing follows the usual
+// open-page model: a row hit pays tCL + tBURST; a row miss pays
+// tRP (if another row is open) + tRCD + tCL + tBURST. The per-channel data
+// bus is busy for tBURST per 64-byte access, which caps channel bandwidth at
+// 64 B / tBURST.
+type DRAMConfig struct {
+	Name            string
+	Channels        int
+	BanksPerChannel int
+	RowBufferBytes  int
+	// Queue depths per channel (Table 1: 128-entry write, 64-entry read).
+	ReadQueueDepth  int
+	WriteQueueDepth int
+	// Core timing parameters in ticks (ps).
+	TRCD   sim.Tick
+	TRP    sim.Tick
+	TCL    sim.Tick
+	TBurst sim.Tick // 64-byte data burst occupancy
+	// Static front/back latencies (controller pipeline, PHY).
+	FrontendLatency sim.Tick
+	BackendLatency  sim.Tick
+	// Write-drain hysteresis thresholds as fractions of WriteQueueDepth.
+	WriteHighWatermark float64
+	WriteLowWatermark  float64
+}
+
+// PeakBandwidthGBs returns the theoretical per-controller peak bandwidth in
+// GB/s implied by the burst timing and channel count.
+func (c DRAMConfig) PeakBandwidthGBs() float64 {
+	perChan := 64.0 / (float64(c.TBurst) * 1e-12) / 1e9
+	return perChan * float64(c.Channels)
+}
+
+func baseConfig() DRAMConfig {
+	return DRAMConfig{
+		BanksPerChannel:    16,
+		ReadQueueDepth:     64,
+		WriteQueueDepth:    128,
+		FrontendLatency:    10 * sim.Nanosecond,
+		BackendLatency:     10 * sim.Nanosecond,
+		WriteHighWatermark: 0.85,
+		WriteLowWatermark:  0.50,
+	}
+}
+
+// DDR4Config returns a DDR4-2400 controller with the given channel count
+// (Table 1: 2 ranks/channel folded into the bank count, 8 KiB row buffer,
+// 18.75 GB/s peak per channel).
+func DDR4Config(channels int) DRAMConfig {
+	c := baseConfig()
+	c.Name = ddr4Name(channels)
+	c.Channels = channels
+	c.BanksPerChannel = 32 // 16 banks x 2 ranks
+	c.RowBufferBytes = 8 * 1024
+	c.TRCD = 14160 // 17 cycles @ 1200 MHz
+	c.TRP = 14160
+	c.TCL = 14160
+	c.TBurst = 3413 // 64 B / 18.75 GB/s
+	return c
+}
+
+func ddr4Name(channels int) string {
+	switch channels {
+	case 1:
+		return "DDR4-1ch"
+	case 2:
+		return "DDR4-2ch"
+	case 4:
+		return "DDR4-4ch"
+	}
+	return "DDR4"
+}
+
+// GDDR5Config returns the quad-channel GDDR5 configuration of Table 1
+// (2 KiB row buffer, 112 GB/s aggregate peak).
+func GDDR5Config() DRAMConfig {
+	c := baseConfig()
+	c.Name = "GDDR5"
+	c.Channels = 4
+	c.RowBufferBytes = 2 * 1024
+	c.TRCD = 14000
+	c.TRP = 14000
+	c.TCL = 14000
+	c.TBurst = 2285 // 64 B / 28 GB/s per channel
+	return c
+}
+
+// HBMConfig returns the 8-channel HBM stack of Table 1 (2 KiB row buffer,
+// 128 GB/s aggregate peak).
+func HBMConfig() DRAMConfig {
+	c := baseConfig()
+	c.Name = "HBM"
+	c.Channels = 8
+	c.RowBufferBytes = 2 * 1024
+	c.TRCD = 15000
+	c.TRP = 15000
+	c.TCL = 15000
+	c.TBurst = 4000 // 64 B / 16 GB/s per channel
+	return c
+}
+
+// ConfigByName resolves the evaluation's memory technology names
+// (DDR4-1ch, DDR4-2ch, DDR4-4ch, GDDR5, HBM, ideal is handled separately).
+func ConfigByName(name string) (DRAMConfig, bool) {
+	switch name {
+	case "DDR4-1ch":
+		return DDR4Config(1), true
+	case "DDR4-2ch":
+		return DDR4Config(2), true
+	case "DDR4-4ch":
+		return DDR4Config(4), true
+	case "GDDR5":
+		return GDDR5Config(), true
+	case "HBM":
+		return HBMConfig(), true
+	}
+	return DRAMConfig{}, false
+}
+
+// TechNames lists the DSE memory technologies in presentation order.
+func TechNames() []string {
+	return []string{"DDR4-1ch", "DDR4-2ch", "DDR4-4ch", "GDDR5", "HBM"}
+}

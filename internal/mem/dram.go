@@ -1,0 +1,307 @@
+package mem
+
+import (
+	"gem5rtl/internal/port"
+	"gem5rtl/internal/sim"
+)
+
+// DRAMCtrl is an event-driven multi-channel DRAM controller. It exposes one
+// response port; requests are interleaved across channels at 64-byte block
+// granularity. Each channel schedules at most one command at a time
+// (FR-FCFS: row hits first, then oldest), models per-bank open rows and a
+// shared data bus, prioritises reads, and drains writes in batches governed
+// by high/low watermarks — the gem5 memory-controller behaviour the paper's
+// DSE leans on (severe DDR4-1ch contention at high in-flight counts).
+type DRAMCtrl struct {
+	cfg   DRAMConfig
+	q     *sim.EventQueue
+	store *Storage
+	prt   *port.ResponsePort
+	rq    *port.RespQueue
+	chans []*dramChannel
+
+	stats DRAMStats
+}
+
+// DRAMStats aggregates controller activity.
+type DRAMStats struct {
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64
+	RowMisses   uint64
+	BytesRead   uint64
+	BytesWrit   uint64
+	RetriesSent uint64
+	TotalRdLat  sim.Tick
+	RetiredRds  uint64
+}
+
+// AvgReadLatency returns the mean read latency in ticks.
+func (s *DRAMStats) AvgReadLatency() float64 {
+	if s.RetiredRds == 0 {
+		return 0
+	}
+	return float64(s.TotalRdLat) / float64(s.RetiredRds)
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s *DRAMStats) RowHitRate() float64 {
+	tot := s.RowHits + s.RowMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(tot)
+}
+
+type dramRequest struct {
+	pkt     *port.Packet
+	bank    int
+	row     uint64
+	arrived sim.Tick
+}
+
+type dramBank struct {
+	openRow int64 // -1 = precharged
+	readyAt sim.Tick
+}
+
+type dramChannel struct {
+	ctrl      *DRAMCtrl
+	id        int
+	banks     []dramBank
+	readQ     []*dramRequest
+	writeQ    []*dramRequest
+	busFreeAt sim.Tick
+	draining  bool
+	issueEv   *sim.Event
+}
+
+// NewDRAMCtrl builds a controller on the given event queue and storage.
+func NewDRAMCtrl(cfg DRAMConfig, q *sim.EventQueue, store *Storage) *DRAMCtrl {
+	d := &DRAMCtrl{cfg: cfg, q: q, store: store}
+	d.prt = port.NewResponsePort(cfg.Name, d)
+	d.rq = port.NewRespQueue(cfg.Name, q, d.prt)
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &dramChannel{ctrl: d, id: i, banks: make([]dramBank, cfg.BanksPerChannel)}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		ch.issueEv = sim.NewEvent(cfg.Name+".issue", ch.issue)
+		d.chans = append(d.chans, ch)
+	}
+	return d
+}
+
+// Port returns the controller's response port.
+func (d *DRAMCtrl) Port() *port.ResponsePort { return d.prt }
+
+// Stats returns a snapshot of the counters.
+func (d *DRAMCtrl) Stats() DRAMStats { return d.stats }
+
+// Config returns the controller configuration.
+func (d *DRAMCtrl) Config() DRAMConfig { return d.cfg }
+
+// route computes (channel, bank, row) for an address. The bank index XOR-
+// folds the row bits so large power-of-two strides (e.g. two DMA streams
+// placed 16 MiB apart) do not alias onto the same banks and thrash rows.
+func (d *DRAMCtrl) route(addr uint64) (int, int, uint64) {
+	block := addr >> 6
+	ch := int(block) % d.cfg.Channels
+	chanBlock := block / uint64(d.cfg.Channels)
+	colsPerRow := uint64(d.cfg.RowBufferBytes / 64)
+	rowIdx := chanBlock / colsPerRow
+	bank := foldBank(rowIdx, d.cfg.BanksPerChannel)
+	row := rowIdx / uint64(d.cfg.BanksPerChannel)
+	return ch, bank, row
+}
+
+// foldBank XOR-folds rowIdx in bank-width chunks.
+func foldBank(rowIdx uint64, banks int) int {
+	width := uint(0)
+	for 1<<width < banks {
+		width++
+	}
+	var acc uint64
+	for r := rowIdx; r != 0; r >>= width {
+		acc ^= r
+	}
+	return int(acc % uint64(banks))
+}
+
+// RecvTimingReq implements port.Responder with queue-full back-pressure.
+func (d *DRAMCtrl) RecvTimingReq(pkt *port.Packet) bool {
+	chIdx, bank, row := d.route(pkt.Addr)
+	ch := d.chans[chIdx]
+	req := &dramRequest{pkt: pkt, bank: bank, row: row, arrived: d.q.Now()}
+	if pkt.Cmd.IsWrite() {
+		if len(ch.writeQ) >= d.cfg.WriteQueueDepth {
+			return false
+		}
+		ch.writeQ = append(ch.writeQ, req)
+		d.stats.Writes++
+		d.stats.BytesWrit += uint64(pkt.Size)
+		// Posted write: data lands in storage now, ack after the frontend
+		// pipeline; the queued entry models the bandwidth/bank cost.
+		d.store.Write(pkt.Addr, pkt.Data)
+		if pkt.NeedsResponse() {
+			resp := pkt
+			resp.MakeResponse()
+			d.rq.Schedule(resp, d.q.Now()+d.cfg.FrontendLatency)
+		}
+	} else {
+		if len(ch.readQ) >= d.cfg.ReadQueueDepth {
+			return false
+		}
+		ch.readQ = append(ch.readQ, req)
+		d.stats.Reads++
+		d.stats.BytesRead += uint64(pkt.Size)
+	}
+	ch.kick()
+	return true
+}
+
+// RecvRespRetry implements port.Responder.
+func (d *DRAMCtrl) RecvRespRetry() { d.rq.RecvRespRetry() }
+
+// FunctionalAccess implements port.Functional for image/trace loading.
+func (d *DRAMCtrl) FunctionalAccess(pkt *port.Packet) {
+	if pkt.Cmd.IsWrite() {
+		d.store.Write(pkt.Addr, pkt.Data)
+	} else {
+		pkt.AllocateData()
+		d.store.Read(pkt.Addr, pkt.Data)
+	}
+}
+
+// kick arms the issue event if idle.
+func (ch *dramChannel) kick() {
+	if ch.issueEv.Scheduled() {
+		return
+	}
+	if len(ch.readQ) == 0 && len(ch.writeQ) == 0 {
+		return
+	}
+	ch.ctrl.q.Schedule(ch.issueEv, ch.ctrl.q.Now())
+}
+
+// issue schedules one DRAM access (FR-FCFS with read priority and write
+// drain hysteresis), then re-arms for the time the data bus frees.
+func (ch *dramChannel) issue() {
+	d := ch.ctrl
+	cfg := &d.cfg
+	now := d.q.Now()
+
+	// Decide read vs write service.
+	hi := int(float64(cfg.WriteQueueDepth) * cfg.WriteHighWatermark)
+	lo := int(float64(cfg.WriteQueueDepth) * cfg.WriteLowWatermark)
+	if ch.draining && len(ch.writeQ) <= lo {
+		ch.draining = false
+	}
+	if !ch.draining && len(ch.writeQ) >= hi {
+		ch.draining = true
+	}
+	var queue *[]*dramRequest
+	switch {
+	case ch.draining && len(ch.writeQ) > 0:
+		queue = &ch.writeQ
+	case len(ch.readQ) > 0:
+		queue = &ch.readQ
+	case len(ch.writeQ) > 0:
+		queue = &ch.writeQ
+	default:
+		return
+	}
+
+	// FR-FCFS: the oldest request hitting an open (or scheduled-open) row,
+	// else the oldest request. Not gating on bank readiness lets the
+	// scheduler batch same-row requests before switching rows, which is
+	// what keeps interleaved DMA streams from thrashing row buffers.
+	sel := 0
+	for i, r := range *queue {
+		b := &ch.banks[r.bank]
+		if b.openRow == int64(r.row) {
+			sel = i
+			break
+		}
+	}
+	req := (*queue)[sel]
+	*queue = append((*queue)[:sel], (*queue)[sel+1:]...)
+
+	bank := &ch.banks[req.bank]
+	// tCL is pipeline latency on the response path; it does not occupy the
+	// bank or bus, so back-to-back row hits stream at tBURST intervals
+	// (channel peak bandwidth), while row misses serialise tRP+tRCD on the
+	// bank.
+	var prep sim.Tick
+	if bank.openRow == int64(req.row) {
+		d.stats.RowHits++
+	} else {
+		d.stats.RowMisses++
+		if bank.openRow >= 0 {
+			prep += cfg.TRP
+		}
+		prep += cfg.TRCD
+	}
+	start := now
+	if bank.readyAt > start {
+		start = bank.readyAt
+	}
+	dataStart := start + prep
+	if ch.busFreeAt > dataStart {
+		dataStart = ch.busFreeAt
+	}
+	done := dataStart + cfg.TBurst
+	ch.busFreeAt = done
+	bank.readyAt = done
+	bank.openRow = int64(req.row)
+
+	if req.pkt.Cmd.IsRead() {
+		pkt := req.pkt
+		d.q.ScheduleFunc(cfg.Name+".readDone", done+cfg.TCL+cfg.BackendLatency, func() {
+			pkt.MakeResponse()
+			pkt.AllocateData()
+			d.store.Read(pkt.Addr, pkt.Data)
+			d.stats.TotalRdLat += d.q.Now() - req.arrived
+			d.stats.RetiredRds++
+			d.rq.Schedule(pkt, d.q.Now())
+		})
+	}
+	// A queue slot freed: let a refused sender retry. The retry may re-enter
+	// RecvTimingReq and kick(), scheduling issueEv — the re-arm below must
+	// therefore tolerate an already-scheduled event.
+	d.stats.RetriesSent++
+	d.prt.SendRetryReq()
+
+	if len(ch.readQ) > 0 || len(ch.writeQ) > 0 {
+		// Commands issue at command-bus rate so bank activates overlap
+		// (bank-level parallelism); the data bus remains the serialisation
+		// point. Keep only a small runway of scheduled bursts so queue
+		// occupancy — and the back-pressure derived from it — stays real.
+		const tCK = sim.Tick(1000) // ~1 ns command cycle
+		when := now + tCK
+		// Unsigned guard: only push the next command out when the scheduled
+		// burst runway is longer than half the bank count.
+		if ahead := sim.Tick(d.cfg.BanksPerChannel/2) * cfg.TBurst; ch.busFreeAt > ahead {
+			if runway := ch.busFreeAt - ahead; runway > when {
+				when = runway
+			}
+		}
+		if ch.issueEv.Scheduled() {
+			if ch.issueEv.When() > when {
+				d.q.Reschedule(ch.issueEv, when)
+			}
+		} else {
+			d.q.Schedule(ch.issueEv, when)
+		}
+	}
+}
+
+// QueueOccupancy reports total queued reads and writes across channels
+// (for tests and stats dumps).
+func (d *DRAMCtrl) QueueOccupancy() (reads, writes int) {
+	for _, ch := range d.chans {
+		reads += len(ch.readQ)
+		writes += len(ch.writeQ)
+	}
+	return
+}

@@ -1,0 +1,154 @@
+// Package port implements gem5-style timing ports and packets: the transport
+// layer every gem5rtl component (CPUs, caches, crossbars, memory controllers,
+// and the RTLObject bridge) uses to exchange memory traffic. It reproduces
+// the essential gem5 semantics the paper's framework relies on:
+//
+//   - Packets carry a command, address, size and payload, plus a sender-state
+//     stack so intermediate components can route responses back.
+//   - Timing accesses may be refused (SendTimingReq returns false); the
+//     refused sender must wait for a retry callback before resending. This
+//     back-pressure is what propagates MSHR and memory-queue occupancy limits
+//     through the system and makes the max-in-flight DSE meaningful.
+//   - Functional accesses move data immediately with no timing, used to load
+//     program images and NVDLA traces into memory.
+package port
+
+import "gem5rtl/internal/sim"
+
+// Cmd enumerates packet commands, a condensed version of gem5's MemCmd.
+type Cmd int
+
+// Packet commands.
+const (
+	ReadReq Cmd = iota
+	ReadResp
+	WriteReq
+	WriteResp
+	// WritebackDirty is a cache writeback; it expects no response.
+	WritebackDirty
+	// PrefetchReq is a read issued by a prefetcher; responses carry data.
+	PrefetchReq
+)
+
+func (c Cmd) String() string {
+	switch c {
+	case ReadReq:
+		return "ReadReq"
+	case ReadResp:
+		return "ReadResp"
+	case WriteReq:
+		return "WriteReq"
+	case WriteResp:
+		return "WriteResp"
+	case WritebackDirty:
+		return "WritebackDirty"
+	case PrefetchReq:
+		return "PrefetchReq"
+	}
+	return "UnknownCmd"
+}
+
+// IsRead reports whether the command moves data toward the requestor.
+func (c Cmd) IsRead() bool { return c == ReadReq || c == ReadResp || c == PrefetchReq }
+
+// IsWrite reports whether the command moves data toward memory.
+func (c Cmd) IsWrite() bool { return c == WriteReq || c == WriteResp || c == WritebackDirty }
+
+// IsResponse reports whether the command is a response.
+func (c Cmd) IsResponse() bool { return c == ReadResp || c == WriteResp }
+
+// NeedsResponse reports whether a request command expects a response packet.
+func (c Cmd) NeedsResponse() bool { return c == ReadReq || c == WriteReq || c == PrefetchReq }
+
+// Packet is the unit of communication between ports. A request packet is
+// turned into its response in place by MakeResponse, preserving identity so
+// senders can match responses to outstanding requests by pointer or ID.
+type Packet struct {
+	// ID is a unique (per PacketAllocator) identifier, handy for tracing.
+	ID uint64
+	// Cmd is the current command; flips to the response command in MakeResponse.
+	Cmd Cmd
+	// Addr is the (physical) byte address of the access.
+	Addr uint64
+	// Size is the access size in bytes.
+	Size int
+	// Data is the payload; len(Data) == Size for reads once responded.
+	Data []byte
+	// ReqTick records when the original request entered the system.
+	ReqTick sim.Tick
+	// RequestorID identifies the originating device (CPU n, NVDLA n, ...).
+	RequestorID int
+
+	senderState []any
+}
+
+var packetID uint64
+
+// NewPacket allocates a packet with a fresh ID.
+func NewPacket(cmd Cmd, addr uint64, size int) *Packet {
+	packetID++
+	return &Packet{ID: packetID, Cmd: cmd, Addr: addr, Size: size}
+}
+
+// NewWritePacket allocates a write carrying data (the slice is not copied).
+func NewWritePacket(addr uint64, data []byte) *Packet {
+	p := NewPacket(WriteReq, addr, len(data))
+	p.Data = data
+	return p
+}
+
+// NewReadPacket allocates a read of size bytes.
+func NewReadPacket(addr uint64, size int) *Packet {
+	return NewPacket(ReadReq, addr, size)
+}
+
+// PushSenderState saves routing state before forwarding a packet downstream;
+// the matching PopSenderState retrieves it when the response comes back.
+// This mirrors gem5's Packet::pushSenderState.
+func (p *Packet) PushSenderState(s any) { p.senderState = append(p.senderState, s) }
+
+// PopSenderState removes and returns the most recently pushed sender state.
+// It panics if the stack is empty, which indicates a routing bug.
+func (p *Packet) PopSenderState() any {
+	n := len(p.senderState)
+	if n == 0 {
+		panic("port: PopSenderState on empty stack")
+	}
+	s := p.senderState[n-1]
+	p.senderState[n-1] = nil
+	p.senderState = p.senderState[:n-1]
+	return s
+}
+
+// SenderStateDepth returns the current depth of the sender-state stack.
+func (p *Packet) SenderStateDepth() int { return len(p.senderState) }
+
+// MakeResponse converts a request packet into its response in place.
+func (p *Packet) MakeResponse() {
+	switch p.Cmd {
+	case ReadReq, PrefetchReq:
+		p.Cmd = ReadResp
+	case WriteReq:
+		p.Cmd = WriteResp
+	default:
+		panic("port: MakeResponse on non-request " + p.Cmd.String())
+	}
+}
+
+// IsResponse reports whether the packet currently holds a response.
+func (p *Packet) IsResponse() bool { return p.Cmd.IsResponse() }
+
+// NeedsResponse reports whether this packet must be answered.
+func (p *Packet) NeedsResponse() bool { return p.Cmd.NeedsResponse() }
+
+// AllocateData ensures p.Data has Size bytes (for reads being filled).
+func (p *Packet) AllocateData() {
+	if len(p.Data) != p.Size {
+		p.Data = make([]byte, p.Size)
+	}
+}
+
+// BlockAddr returns the address rounded down to a blkSize boundary.
+func BlockAddr(addr uint64, blkSize int) uint64 {
+	return addr &^ (uint64(blkSize) - 1)
+}

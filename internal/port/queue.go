@@ -1,0 +1,178 @@
+package port
+
+import (
+	"gem5rtl/internal/sim"
+)
+
+// RespQueue schedules response packets for future delivery through a
+// ResponsePort, transparently handling refusals and retries. It reproduces
+// gem5's queued-port behaviour: components decide *when* a response is ready
+// (e.g. after a memory access latency) and the queue deals with the timing
+// protocol. Deliveries preserve readiness order.
+type RespQueue struct {
+	q    *sim.EventQueue
+	port *ResponsePort
+	ev   *sim.Event
+
+	pending []queuedPkt
+	blocked bool
+}
+
+type queuedPkt struct {
+	pkt  *Packet
+	when sim.Tick
+}
+
+// NewRespQueue creates a queue draining through port on event queue q.
+func NewRespQueue(name string, q *sim.EventQueue, port *ResponsePort) *RespQueue {
+	rq := &RespQueue{q: q, port: port}
+	rq.ev = sim.NewEvent(name+".drain", rq.drain)
+	return rq
+}
+
+// Schedule queues pkt (which must already be a response) for delivery at the
+// given absolute tick.
+func (rq *RespQueue) Schedule(pkt *Packet, when sim.Tick) {
+	if !pkt.IsResponse() {
+		panic("port: RespQueue.Schedule with non-response packet")
+	}
+	if when < rq.q.Now() {
+		when = rq.q.Now()
+	}
+	// Insert keeping the queue sorted by readiness time (stable for equal
+	// times, preserving issue order).
+	i := len(rq.pending)
+	for i > 0 && rq.pending[i-1].when > when {
+		i--
+	}
+	rq.pending = append(rq.pending, queuedPkt{})
+	copy(rq.pending[i+1:], rq.pending[i:])
+	rq.pending[i] = queuedPkt{pkt, when}
+	rq.arm()
+}
+
+// Empty reports whether no responses are queued.
+func (rq *RespQueue) Empty() bool { return len(rq.pending) == 0 }
+
+// Len returns the number of queued responses.
+func (rq *RespQueue) Len() int { return len(rq.pending) }
+
+func (rq *RespQueue) arm() {
+	if rq.blocked || len(rq.pending) == 0 {
+		return
+	}
+	when := rq.pending[0].when
+	if rq.ev.Scheduled() {
+		if rq.ev.When() <= when {
+			return
+		}
+		rq.q.Deschedule(rq.ev)
+	}
+	rq.q.Schedule(rq.ev, when)
+}
+
+func (rq *RespQueue) drain() {
+	for len(rq.pending) > 0 && rq.pending[0].when <= rq.q.Now() {
+		pkt := rq.pending[0].pkt
+		if !rq.port.SendTimingResp(pkt) {
+			// Peer refused: hold everything until RecvRespRetry.
+			rq.blocked = true
+			return
+		}
+		rq.pending = rq.pending[1:]
+	}
+	rq.arm()
+}
+
+// RecvRespRetry must be called by the owning responder's RecvRespRetry.
+func (rq *RespQueue) RecvRespRetry() {
+	rq.blocked = false
+	rq.drain()
+}
+
+// ReqQueue is the symmetric helper for requestors: it schedules request
+// packets for future transmission through a RequestPort, handling refusals.
+type ReqQueue struct {
+	q    *sim.EventQueue
+	port *RequestPort
+	ev   *sim.Event
+
+	pending []queuedPkt
+	blocked bool
+}
+
+// NewReqQueue creates a queue transmitting through port.
+func NewReqQueue(name string, q *sim.EventQueue, port *RequestPort) *ReqQueue {
+	rq := &ReqQueue{q: q, port: port}
+	rq.ev = sim.NewEvent(name+".drain", rq.drain)
+	return rq
+}
+
+// Schedule queues a request for transmission at the given absolute tick.
+func (rq *ReqQueue) Schedule(pkt *Packet, when sim.Tick) {
+	if pkt.IsResponse() {
+		panic("port: ReqQueue.Schedule with response packet")
+	}
+	if when < rq.q.Now() {
+		when = rq.q.Now()
+	}
+	i := len(rq.pending)
+	for i > 0 && rq.pending[i-1].when > when {
+		i--
+	}
+	rq.pending = append(rq.pending, queuedPkt{})
+	copy(rq.pending[i+1:], rq.pending[i:])
+	rq.pending[i] = queuedPkt{pkt, when}
+	rq.arm()
+}
+
+// Empty reports whether no requests are queued.
+func (rq *ReqQueue) Empty() bool { return len(rq.pending) == 0 }
+
+// Len returns the number of queued requests.
+func (rq *ReqQueue) Len() int { return len(rq.pending) }
+
+func (rq *ReqQueue) arm() {
+	if rq.blocked || len(rq.pending) == 0 {
+		return
+	}
+	when := rq.pending[0].when
+	if rq.ev.Scheduled() {
+		if rq.ev.When() <= when {
+			return
+		}
+		rq.q.Deschedule(rq.ev)
+	}
+	rq.q.Schedule(rq.ev, when)
+}
+
+// drain transmits every ready packet it can. A refusal does not block
+// later ready packets: a multi-channel memory controller may refuse a
+// request for one full channel while accepting traffic for others, and
+// head-of-line blocking here would serialise independent streams. Refused
+// packets keep their queue position and are retried on RecvReqRetry.
+func (rq *ReqQueue) drain() {
+	now := rq.q.Now()
+	anyRefused := false
+	i := 0
+	for i < len(rq.pending) && rq.pending[i].when <= now {
+		pkt := rq.pending[i].pkt
+		if rq.port.SendTimingReq(pkt) {
+			rq.pending = append(rq.pending[:i], rq.pending[i+1:]...)
+			continue
+		}
+		anyRefused = true
+		i++
+	}
+	if anyRefused {
+		rq.blocked = true
+		return
+	}
+	rq.arm()
+}
+
+// RecvReqRetry must be called by the owning requestor's RecvReqRetry.
+func (rq *ReqQueue) RecvReqRetry() {
+	rq.blocked = false
+	rq.drain()
+}

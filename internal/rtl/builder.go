@@ -1,0 +1,256 @@
+package rtl
+
+import "fmt"
+
+// Builder constructs Circuits programmatically. The HDL frontends drive it
+// during elaboration; tests and hand-written models use it directly.
+type Builder struct {
+	c      *Circuit
+	byName map[string]SigID
+	err    error
+}
+
+// NewBuilder returns a builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: &Circuit{Name: name}, byName: map[string]SigID{}}
+}
+
+func (b *Builder) addSignal(name string, w int, kind SigKind, init uint64) SigID {
+	if _, dup := b.byName[name]; dup {
+		b.fail("duplicate signal %q", name)
+	}
+	id := SigID(len(b.c.Signals))
+	b.c.Signals = append(b.c.Signals, Signal{Name: name, Width: w, Kind: kind, Init: init})
+	b.byName[name] = id
+	return id
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("rtl builder: "+format, args...)
+	}
+}
+
+// Input declares an externally driven signal.
+func (b *Builder) Input(name string, w int) SigID { return b.addSignal(name, w, SigInput, 0) }
+
+// Output declares an exported wire; drive it with Assign.
+func (b *Builder) Output(name string, w int) SigID { return b.addSignal(name, w, SigOutput, 0) }
+
+// Wire declares an internal combinational signal.
+func (b *Builder) Wire(name string, w int) SigID { return b.addSignal(name, w, SigWire, 0) }
+
+// Reg declares a flip-flop with a reset/initial value.
+func (b *Builder) Reg(name string, w int, init uint64) SigID {
+	return b.addSignal(name, w, SigReg, init)
+}
+
+// Mem declares a memory array.
+func (b *Builder) Mem(name string, width, depth int) MemID {
+	id := MemID(len(b.c.Mems))
+	b.c.Mems = append(b.c.Mems, Mem{Name: name, Width: width, Depth: depth})
+	return id
+}
+
+// MemInit sets initial contents for a memory.
+func (b *Builder) MemInit(id MemID, words []uint64) {
+	b.c.Mems[id].Init = append([]uint64(nil), words...)
+}
+
+// Assign adds a combinational assignment dst = src.
+func (b *Builder) Assign(dst SigID, src Expr) {
+	if got, want := src.Width(), b.c.Signals[dst].Width; got != want {
+		b.fail("assign to %q: width %d != %d", b.c.Signals[dst].Name, got, want)
+	}
+	b.c.Combs = append(b.c.Combs, Assign{Dst: dst, Src: src})
+}
+
+// Seq adds a clocked assignment dst <= next.
+func (b *Builder) Seq(dst SigID, next Expr) {
+	if got, want := next.Width(), b.c.Signals[dst].Width; got != want {
+		b.fail("seq to %q: width %d != %d", b.c.Signals[dst].Name, got, want)
+	}
+	b.c.Seqs = append(b.c.Seqs, SeqAssign{Dst: dst, Next: next})
+}
+
+// MemWr adds a clocked memory write.
+func (b *Builder) MemWr(mem MemID, addr, data, en Expr) {
+	if data.Width() != b.c.Mems[mem].Width {
+		b.fail("memwrite to %q: data width %d != %d", b.c.Mems[mem].Name, data.Width(), b.c.Mems[mem].Width)
+	}
+	b.c.MemWrites = append(b.c.MemWrites, MemWrite{Mem: mem, Addr: addr, Data: data, En: en})
+}
+
+// Ref returns an expression reading a declared signal.
+func (b *Builder) Ref(id SigID) Expr { return &Ref{Sig: id, W: b.c.Signals[id].Width} }
+
+// Sig returns the ID of a previously declared signal by name.
+func (b *Builder) Sig(name string) (SigID, bool) {
+	id, ok := b.byName[name]
+	return id, ok
+}
+
+// Build validates and returns the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}
+
+// Expression constructors. Width rules follow synthesis conventions:
+// arithmetic/bitwise results take max(operand widths); comparisons and
+// logical ops are 1 bit; shifts take the left operand's width.
+
+// C builds a constant of the given width.
+func C(val uint64, w int) Expr { return &Const{Val: val & Mask(w), W: w} }
+
+func maxw(x, y Expr) int {
+	if x.Width() > y.Width() {
+		return x.Width()
+	}
+	return y.Width()
+}
+
+func bin(op Op, x, y Expr, w int) Expr { return &Binary{Op: op, X: x, Y: y, W: w} }
+
+// Add builds x + y.
+func Add(x, y Expr) Expr { return bin(OpAdd, x, y, maxw(x, y)) }
+
+// Sub builds x - y.
+func Sub(x, y Expr) Expr { return bin(OpSub, x, y, maxw(x, y)) }
+
+// MulE builds x * y.
+func MulE(x, y Expr) Expr { return bin(OpMul, x, y, maxw(x, y)) }
+
+// DivE builds x / y (unsigned).
+func DivE(x, y Expr) Expr { return bin(OpDiv, x, y, maxw(x, y)) }
+
+// ModE builds x % y (unsigned).
+func ModE(x, y Expr) Expr { return bin(OpMod, x, y, maxw(x, y)) }
+
+// AndE builds x & y.
+func AndE(x, y Expr) Expr { return bin(OpAnd, x, y, maxw(x, y)) }
+
+// OrE builds x | y.
+func OrE(x, y Expr) Expr { return bin(OpOr, x, y, maxw(x, y)) }
+
+// XorE builds x ^ y.
+func XorE(x, y Expr) Expr { return bin(OpXor, x, y, maxw(x, y)) }
+
+// Shl builds x << y.
+func Shl(x, y Expr) Expr { return bin(OpShl, x, y, x.Width()) }
+
+// Shr builds x >> y (logical).
+func Shr(x, y Expr) Expr { return bin(OpShr, x, y, x.Width()) }
+
+// Sra builds x >>> y (arithmetic).
+func Sra(x, y Expr) Expr { return bin(OpSra, x, y, x.Width()) }
+
+// Eq builds x == y (1 bit).
+func Eq(x, y Expr) Expr { return bin(OpEq, x, y, 1) }
+
+// Ne builds x != y (1 bit).
+func Ne(x, y Expr) Expr { return bin(OpNe, x, y, 1) }
+
+// Lt builds unsigned x < y (1 bit).
+func Lt(x, y Expr) Expr { return bin(OpLt, x, y, 1) }
+
+// Le builds unsigned x <= y (1 bit).
+func Le(x, y Expr) Expr { return bin(OpLe, x, y, 1) }
+
+// Gt builds unsigned x > y (1 bit).
+func Gt(x, y Expr) Expr { return bin(OpGt, x, y, 1) }
+
+// Ge builds unsigned x >= y (1 bit).
+func Ge(x, y Expr) Expr { return bin(OpGe, x, y, 1) }
+
+// SLt builds signed x < y (1 bit).
+func SLt(x, y Expr) Expr { return bin(OpSLt, x, y, 1) }
+
+// LAnd builds x && y (1 bit).
+func LAnd(x, y Expr) Expr { return bin(OpLAnd, x, y, 1) }
+
+// LOr builds x || y (1 bit).
+func LOr(x, y Expr) Expr { return bin(OpLOr, x, y, 1) }
+
+// Not builds bitwise ~x.
+func Not(x Expr) Expr { return &Unary{Op: UnNot, X: x, W: x.Width()} }
+
+// Neg builds two's-complement -x.
+func Neg(x Expr) Expr { return &Unary{Op: UnNeg, X: x, W: x.Width()} }
+
+// LNot builds logical !x (1 bit).
+func LNot(x Expr) Expr { return &Unary{Op: UnLNot, X: x, W: 1} }
+
+// RedOr builds reduction |x (1 bit).
+func RedOr(x Expr) Expr { return &Unary{Op: UnRedOr, X: x, W: 1} }
+
+// RedAnd builds reduction &x (1 bit).
+func RedAnd(x Expr) Expr { return &Unary{Op: UnRedAnd, X: x, W: 1} }
+
+// RedXor builds reduction ^x (1 bit).
+func RedXor(x Expr) Expr { return &Unary{Op: UnRedXor, X: x, W: 1} }
+
+// MuxE builds cond ? t : f. t and f must have equal widths.
+func MuxE(cond, t, f Expr) Expr {
+	w := t.Width()
+	if f.Width() > w {
+		w = f.Width()
+	}
+	return &Mux{Cond: cond, T: t, F: f, W: w}
+}
+
+// SliceE builds x[hi:lo].
+func SliceE(x Expr, hi, lo int) Expr { return &Slice{X: x, Hi: hi, Lo: lo} }
+
+// Bit builds the single-bit select x[i] with a constant index.
+func Bit(x Expr, i int) Expr { return &Slice{X: x, Hi: i, Lo: i} }
+
+// IndexE builds the dynamic single-bit select x[bit].
+func IndexE(x, bitExpr Expr) Expr { return &Index{X: x, Bit: bitExpr} }
+
+// Cat concatenates parts with Parts[0] as the most significant.
+func Cat(parts ...Expr) Expr {
+	w := 0
+	for _, p := range parts {
+		w += p.Width()
+	}
+	return &Concat{Parts: parts, W: w}
+}
+
+// ZExt zero-extends x to width w (no-op if already wide enough).
+func ZExt(x Expr, w int) Expr {
+	if x.Width() >= w {
+		return x
+	}
+	return Cat(C(0, w-x.Width()), x)
+}
+
+// Trunc truncates x to its low w bits (no-op if already narrow enough).
+func Trunc(x Expr, w int) Expr {
+	if x.Width() <= w {
+		return x
+	}
+	return SliceE(x, w-1, 0)
+}
+
+// Resize zero-extends or truncates x to exactly width w.
+func Resize(x Expr, w int) Expr {
+	if x.Width() == w {
+		return x
+	}
+	if x.Width() < w {
+		return ZExt(x, w)
+	}
+	return Trunc(x, w)
+}
+
+// MemRd builds a combinational memory read expression. The caller supplies
+// the memory's word width (builders know it; frontends track it).
+func MemRd(mem MemID, addr Expr, width int) Expr {
+	return &MemRead{Mem: mem, Addr: addr, W: width}
+}

@@ -1,0 +1,230 @@
+package rtl
+
+// Closure compilation: at Compile time every expression tree is lowered to
+// a tree of Go closures, eliminating the per-node type switch from the
+// per-cycle hot path — the same trick that makes Verilator fast relative to
+// interpreting simulators. The tree-walking evaluator (engine.go eval) is
+// retained for EvalIterative and the DESIGN.md §5.1 ablation benchmark.
+
+type evalFn func() uint64
+
+// buildFns lowers all assignments once. Called at the end of Compile.
+func (m *Model) buildFns() {
+	m.combFns = make([]func(), len(m.order))
+	for i, idx := range m.order {
+		a := &m.c.Combs[idx]
+		dst := a.Dst
+		mask := m.masks[dst]
+		src := m.compileExpr(a.Src)
+		vals := m.vals
+		m.combFns[i] = func() { vals[dst] = src() & mask }
+	}
+	m.seqFns = make([]evalFn, len(m.c.Seqs))
+	for i := range m.c.Seqs {
+		s := &m.c.Seqs[i]
+		mask := m.masks[s.Dst]
+		next := m.compileExpr(s.Next)
+		m.seqFns[i] = func() uint64 { return next() & mask }
+	}
+	m.memwFns = make([]compiledMemWrite, len(m.c.MemWrites))
+	for i := range m.c.MemWrites {
+		w := &m.c.MemWrites[i]
+		m.memwFns[i] = compiledMemWrite{
+			mem:  w.Mem,
+			addr: m.compileExpr(w.Addr),
+			data: m.compileExpr(w.Data),
+			en:   m.compileExpr(w.En),
+			mask: Mask(m.c.Mems[w.Mem].Width),
+		}
+	}
+}
+
+type compiledMemWrite struct {
+	mem        MemID
+	addr, data evalFn
+	en         evalFn
+	mask       uint64
+}
+
+// compileExpr lowers one expression tree to a closure reading m.vals/m.mems.
+func (m *Model) compileExpr(e Expr) evalFn {
+	switch v := e.(type) {
+	case *Const:
+		c := v.Val
+		return func() uint64 { return c }
+	case *Ref:
+		vals := m.vals
+		i := v.Sig
+		return func() uint64 { return vals[i] }
+	case *Unary:
+		x := m.compileExpr(v.X)
+		switch v.Op {
+		case UnNot:
+			mask := Mask(v.W)
+			return func() uint64 { return ^x() & mask }
+		case UnNeg:
+			mask := Mask(v.W)
+			return func() uint64 { return (-x()) & mask }
+		case UnLNot:
+			return func() uint64 { return b2u(x() == 0) }
+		case UnRedAnd:
+			full := Mask(v.X.Width())
+			return func() uint64 { return b2u(x() == full) }
+		case UnRedOr:
+			return func() uint64 { return b2u(x() != 0) }
+		case UnRedXor:
+			return func() uint64 {
+				var p uint64
+				for t := x(); t != 0; t &= t - 1 {
+					p ^= 1
+				}
+				return p
+			}
+		}
+	case *Binary:
+		x := m.compileExpr(v.X)
+		y := m.compileExpr(v.Y)
+		mask := Mask(v.W)
+		switch v.Op {
+		case OpAdd:
+			return func() uint64 { return (x() + y()) & mask }
+		case OpSub:
+			return func() uint64 { return (x() - y()) & mask }
+		case OpMul:
+			return func() uint64 { return (x() * y()) & mask }
+		case OpDiv:
+			return func() uint64 {
+				d := y()
+				if d == 0 {
+					return mask
+				}
+				return (x() / d) & mask
+			}
+		case OpMod:
+			return func() uint64 {
+				d := y()
+				if d == 0 {
+					return x() & mask
+				}
+				return (x() % d) & mask
+			}
+		case OpAnd:
+			return func() uint64 { return x() & y() & mask }
+		case OpOr:
+			return func() uint64 { return (x() | y()) & mask }
+		case OpXor:
+			return func() uint64 { return (x() ^ y()) & mask }
+		case OpShl:
+			return func() uint64 {
+				s := y()
+				if s >= 64 {
+					return 0
+				}
+				return (x() << s) & mask
+			}
+		case OpShr:
+			return func() uint64 {
+				s := y()
+				if s >= 64 {
+					return 0
+				}
+				return (x() >> s) & mask
+			}
+		case OpSra:
+			xw := v.X.Width()
+			return func() uint64 {
+				s := y()
+				if s >= 64 {
+					s = 63
+				}
+				return uint64(SignExtend(x(), xw)>>s) & mask
+			}
+		case OpEq:
+			return func() uint64 { return b2u(x() == y()) }
+		case OpNe:
+			return func() uint64 { return b2u(x() != y()) }
+		case OpLt:
+			return func() uint64 { return b2u(x() < y()) }
+		case OpLe:
+			return func() uint64 { return b2u(x() <= y()) }
+		case OpGt:
+			return func() uint64 { return b2u(x() > y()) }
+		case OpGe:
+			return func() uint64 { return b2u(x() >= y()) }
+		case OpSLt:
+			xw, yw := v.X.Width(), v.Y.Width()
+			return func() uint64 { return b2u(SignExtend(x(), xw) < SignExtend(y(), yw)) }
+		case OpSLe:
+			xw, yw := v.X.Width(), v.Y.Width()
+			return func() uint64 { return b2u(SignExtend(x(), xw) <= SignExtend(y(), yw)) }
+		case OpSGt:
+			xw, yw := v.X.Width(), v.Y.Width()
+			return func() uint64 { return b2u(SignExtend(x(), xw) > SignExtend(y(), yw)) }
+		case OpSGe:
+			xw, yw := v.X.Width(), v.Y.Width()
+			return func() uint64 { return b2u(SignExtend(x(), xw) >= SignExtend(y(), yw)) }
+		case OpLAnd:
+			return func() uint64 { return b2u(x() != 0 && y() != 0) }
+		case OpLOr:
+			return func() uint64 { return b2u(x() != 0 || y() != 0) }
+		}
+	case *Mux:
+		c := m.compileExpr(v.Cond)
+		t := m.compileExpr(v.T)
+		f := m.compileExpr(v.F)
+		mask := Mask(v.W)
+		return func() uint64 {
+			if c() != 0 {
+				return t() & mask
+			}
+			return f() & mask
+		}
+	case *Slice:
+		x := m.compileExpr(v.X)
+		lo := uint(v.Lo)
+		mask := Mask(v.Hi - v.Lo + 1)
+		return func() uint64 { return (x() >> lo) & mask }
+	case *Index:
+		x := m.compileExpr(v.X)
+		bit := m.compileExpr(v.Bit)
+		w := uint64(v.X.Width())
+		return func() uint64 {
+			b := bit()
+			if b >= w {
+				return 0
+			}
+			return (x() >> b) & 1
+		}
+	case *Concat:
+		parts := make([]evalFn, len(v.Parts))
+		widths := make([]uint, len(v.Parts))
+		for i, p := range v.Parts {
+			parts[i] = m.compileExpr(p)
+			widths[i] = uint(p.Width())
+		}
+		if len(parts) == 2 {
+			a, b := parts[0], parts[1]
+			bw := widths[1]
+			return func() uint64 { return a()<<bw | b() }
+		}
+		return func() uint64 {
+			var acc uint64
+			for i, p := range parts {
+				acc = acc<<widths[i] | p()
+			}
+			return acc
+		}
+	case *MemRead:
+		addr := m.compileExpr(v.Addr)
+		words := m.mems[v.Mem]
+		n := uint64(len(words))
+		return func() uint64 {
+			a := addr()
+			if a >= n {
+				return 0
+			}
+			return words[a]
+		}
+	}
+	panic("rtl: compileExpr: unknown node")
+}

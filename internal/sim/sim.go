@@ -1,0 +1,221 @@
+// Package sim provides the discrete-event simulation kernel that underpins
+// every timed component in gem5rtl. It mirrors gem5's event queue semantics:
+// simulated time is counted in integer Ticks (1 tick = 1 picosecond), events
+// are ordered by (tick, priority, insertion sequence), and a single queue
+// drives the whole system deterministically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is a point in (or span of) simulated time. One Tick is one picosecond,
+// matching gem5's convention, so a 2 GHz clock has a period of 500 Ticks.
+type Tick uint64
+
+// Common time spans expressed in Ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000 * Picosecond
+	Microsecond Tick = 1000 * Nanosecond
+	Millisecond Tick = 1000 * Microsecond
+	Second      Tick = 1000 * Millisecond
+)
+
+// MaxTick is the largest representable simulated time.
+const MaxTick = Tick(^uint64(0))
+
+// Standard event priorities. Lower values run earlier within the same tick.
+const (
+	PriDefault  = 0
+	PriCPU      = -10 // CPU ticks run before device ticks within a cycle
+	PriStats    = 50  // stats dumps observe the post-update state of a tick
+	PriSimExit  = 100 // exit events run after everything else in their tick
+	PriMinFirst = -1 << 30
+)
+
+// Event is a schedulable unit of work. Create events with NewEvent (or
+// EventQueue.ScheduleFunc) and schedule them on exactly one queue at a time.
+type Event struct {
+	name      string
+	fn        func()
+	when      Tick
+	prio      int
+	seq       uint64
+	index     int // heap index; -1 when not scheduled
+	scheduled bool
+}
+
+// NewEvent returns an unscheduled event that runs fn when dispatched.
+// The name is used in error messages and debugging output only.
+func NewEvent(name string, fn func()) *Event {
+	return &Event{name: name, fn: fn, index: -1}
+}
+
+// NewEventPri is NewEvent with an explicit intra-tick priority.
+func NewEventPri(name string, prio int, fn func()) *Event {
+	return &Event{name: name, fn: fn, prio: prio, index: -1}
+}
+
+// Name returns the event's debug name.
+func (e *Event) Name() string { return e.name }
+
+// Scheduled reports whether the event is currently pending on a queue.
+func (e *Event) Scheduled() bool { return e.scheduled }
+
+// When returns the tick the event is scheduled for. Only meaningful while
+// Scheduled() is true.
+func (e *Event) When() Tick { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a deterministic single-threaded event queue. The zero value
+// is not usable; construct with NewEventQueue.
+type EventQueue struct {
+	now        Tick
+	heap       eventHeap
+	seq        uint64
+	exitReason string
+	exitSet    bool
+	dispatched uint64
+}
+
+// NewEventQueue returns an empty queue positioned at tick 0.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Now returns the current simulated time.
+func (q *EventQueue) Now() Tick { return q.now }
+
+// Dispatched returns the total number of events executed so far; useful for
+// simulator performance statistics (host events per second).
+func (q *EventQueue) Dispatched() uint64 { return q.dispatched }
+
+// Empty reports whether no events are pending.
+func (q *EventQueue) Empty() bool { return len(q.heap) == 0 }
+
+// Pending returns the number of scheduled events.
+func (q *EventQueue) Pending() int { return len(q.heap) }
+
+// Schedule inserts e at absolute time when. Scheduling into the past or
+// double-scheduling an event is a programming error and panics, as the
+// resulting simulation would be non-causal.
+func (q *EventQueue) Schedule(e *Event, when Tick) {
+	if e.scheduled {
+		panic(fmt.Sprintf("sim: event %q already scheduled for %d", e.name, e.when))
+	}
+	if when < q.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %d, before now %d", e.name, when, q.now))
+	}
+	e.when = when
+	e.seq = q.seq
+	q.seq++
+	e.scheduled = true
+	heap.Push(&q.heap, e)
+}
+
+// ScheduleFunc creates, schedules, and returns a one-shot event running fn.
+func (q *EventQueue) ScheduleFunc(name string, when Tick, fn func()) *Event {
+	e := NewEvent(name, fn)
+	q.Schedule(e, when)
+	return e
+}
+
+// Deschedule removes a pending event from the queue.
+func (q *EventQueue) Deschedule(e *Event) {
+	if !e.scheduled {
+		panic(fmt.Sprintf("sim: descheduling unscheduled event %q", e.name))
+	}
+	heap.Remove(&q.heap, e.index)
+	e.scheduled = false
+}
+
+// Reschedule moves a pending event to a new time; if the event is not
+// scheduled it is simply scheduled.
+func (q *EventQueue) Reschedule(e *Event, when Tick) {
+	if e.scheduled {
+		q.Deschedule(e)
+	}
+	q.Schedule(e, when)
+}
+
+// Step dispatches the single next event. It returns false when the queue is
+// empty or an exit has been requested.
+func (q *EventQueue) Step() bool {
+	if q.exitSet || len(q.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.heap).(*Event)
+	q.now = e.when
+	e.scheduled = false
+	q.dispatched++
+	e.fn()
+	return true
+}
+
+// ExitSimLoop requests that Run/RunUntil return after the current event. It
+// mirrors gem5's exit_sim_loop mechanism; the reason is retrievable with
+// ExitReason.
+func (q *EventQueue) ExitSimLoop(reason string) {
+	q.exitReason = reason
+	q.exitSet = true
+}
+
+// ExitReason returns the reason passed to ExitSimLoop, or "" if none.
+func (q *EventQueue) ExitReason() string { return q.exitReason }
+
+// ClearExit re-arms the queue after an exit so simulation can be resumed.
+func (q *EventQueue) ClearExit() { q.exitSet = false; q.exitReason = "" }
+
+// Run dispatches events until the queue drains or ExitSimLoop is called.
+// It returns the exit reason ("" if the queue simply drained).
+func (q *EventQueue) Run() string {
+	for q.Step() {
+	}
+	return q.exitReason
+}
+
+// RunUntil dispatches events with tick <= limit. Time advances to limit if
+// the queue drains earlier. Returns the exit reason ("" if none).
+func (q *EventQueue) RunUntil(limit Tick) string {
+	for !q.exitSet && len(q.heap) > 0 && q.heap[0].when <= limit {
+		q.Step()
+	}
+	if !q.exitSet && q.now < limit {
+		q.now = limit
+	}
+	return q.exitReason
+}

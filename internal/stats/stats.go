@@ -1,0 +1,86 @@
+// Package stats provides the gem5-style statistics registry gem5rtl
+// components dump at interval boundaries and at end of simulation —
+// the counterpart of gem5's stats.txt that §6.1 compares the PMU against.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Value is a single named statistic, sampled lazily at dump time.
+type Value struct {
+	Name string
+	Desc string
+	Get  func() float64
+}
+
+// Registry holds the statistics of one simulated system.
+type Registry struct {
+	values []Value
+	byName map[string]int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// Register adds a statistic; duplicate names are rejected with a panic, as
+// they indicate mis-wired components.
+func (r *Registry) Register(name, desc string, get func() float64) {
+	if _, dup := r.byName[name]; dup {
+		panic("stats: duplicate statistic " + name)
+	}
+	r.byName[name] = len(r.values)
+	r.values = append(r.values, Value{Name: name, Desc: desc, Get: get})
+}
+
+// RegisterCounter registers a uint64 counter by pointer.
+func (r *Registry) RegisterCounter(name, desc string, p *uint64) {
+	r.Register(name, desc, func() float64 { return float64(*p) })
+}
+
+// Get returns the current value of a named statistic.
+func (r *Registry) Get(name string) (float64, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return r.values[i].Get(), true
+}
+
+// Snapshot samples every statistic.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(r.values))
+	for _, v := range r.values {
+		out[v.Name] = v.Get()
+	}
+	return out
+}
+
+// Dump writes all statistics in gem5's "name value # desc" format, sorted.
+func (r *Registry) Dump(w io.Writer) {
+	names := make([]string, 0, len(r.values))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "---------- Begin Simulation Statistics ----------")
+	for _, name := range names {
+		v := r.values[r.byName[name]]
+		fmt.Fprintf(w, "%-50s %14.6g  # %s\n", v.Name, v.Get(), v.Desc)
+	}
+	fmt.Fprintln(w, "---------- End Simulation Statistics   ----------")
+}
+
+// Delta computes after-minus-before for interval statistics (e.g. IPC over
+// a 10,000-cycle window in the PMU experiment).
+func Delta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
+}

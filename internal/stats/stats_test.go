@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegisterGetSnapshot(t *testing.T) {
+	r := NewRegistry()
+	x := uint64(0)
+	r.RegisterCounter("sys.x", "a counter", &x)
+	r.Register("sys.y", "derived", func() float64 { return float64(x) * 2 })
+	x = 21
+	if v, ok := r.Get("sys.x"); !ok || v != 21 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	snap := r.Snapshot()
+	if snap["sys.y"] != 42 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	if _, ok := r.Get("sys.z"); ok {
+		t.Fatal("missing stat found")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", "", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register("a", "", func() float64 { return 1 })
+}
+
+func TestDumpFormatSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b.stat", "second", func() float64 { return 2 })
+	r.Register("a.stat", "first", func() float64 { return 1 })
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	out := buf.String()
+	ai := strings.Index(out, "a.stat")
+	bi := strings.Index(out, "b.stat")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("dump not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "# first") {
+		t.Fatal("description missing")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	before := map[string]float64{"x": 10, "y": 5}
+	after := map[string]float64{"x": 25, "y": 5}
+	d := Delta(before, after)
+	if d["x"] != 15 || d["y"] != 0 {
+		t.Fatalf("delta %v", d)
+	}
+}

@@ -1,0 +1,219 @@
+// Package trace defines gem5rtl's NVDLA workload traces: the stand-in for
+// NVIDIA's compiled register/memory traces (sanity3, GoogleNet) that the
+// paper's host application loads into main memory before starting the
+// accelerator. A trace is a memory preload (weights/activations) plus a
+// sequence of CSB register writes describing the layers to execute, ending
+// with a start command — structurally the same recipe as the nvdla_hw
+// trace-player format, with synthetic data.
+package trace
+
+import (
+	"fmt"
+
+	"gem5rtl/internal/nvdla"
+)
+
+// Op is one trace operation.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	Val  uint32
+	Data []byte
+}
+
+// OpKind enumerates trace operations.
+type OpKind int
+
+// Trace operation kinds.
+const (
+	// OpWriteReg writes a CSB register (Addr, Val).
+	OpWriteReg OpKind = iota
+	// OpLoadMem preloads memory at Addr with Data.
+	OpLoadMem
+	// OpStart writes the CSB start bit and begins execution.
+	OpStart
+	// OpWaitIRQ blocks the host until the accelerator interrupt.
+	OpWaitIRQ
+)
+
+// Trace is a loadable NVDLA workload.
+type Trace struct {
+	Name string
+	Ops  []Op
+	// TotalReadBytes/TotalWriteBytes summarise the memory footprint (for
+	// reports and demand calculations).
+	TotalReadBytes  uint64
+	TotalWriteBytes uint64
+	// ComputeCycles is the pure-compute lower bound in accelerator cycles.
+	ComputeCycles uint64
+}
+
+// Layer describes one convolution layer in accelerator terms.
+type Layer struct {
+	InputAddr  uint64
+	WeightAddr uint64
+	OutputAddr uint64
+	InBytes    uint32
+	WtBytes    uint32
+	OutBytes   uint32
+	// TileBytes is the input+weight working set fetched per tile.
+	TileBytes uint32
+	// CyclesPerTile is the MAC-array occupancy per tile.
+	CyclesPerTile uint32
+}
+
+// Demand returns the layer's memory bandwidth demand in GB/s at a 1 GHz
+// accelerator clock (bytes moved per compute nanosecond).
+func (l Layer) Demand() float64 {
+	tiles := float64(l.InBytes+l.WtBytes) / float64(l.TileBytes)
+	totalCycles := tiles * float64(l.CyclesPerTile)
+	totalBytes := float64(l.InBytes + l.WtBytes + l.OutBytes)
+	return totalBytes / totalCycles // bytes per ns == GB/s
+}
+
+// Build assembles a trace from layers: preloads input/weight regions with a
+// deterministic pattern and emits the CSB programming sequence.
+func Build(name string, layers []Layer) *Trace {
+	t := &Trace{Name: name}
+	for i, l := range layers {
+		t.Ops = append(t.Ops,
+			Op{Kind: OpLoadMem, Addr: l.InputAddr, Data: pattern(int(l.InBytes), byte(0x10+i))},
+			Op{Kind: OpLoadMem, Addr: l.WeightAddr, Data: pattern(int(l.WtBytes), byte(0x80+i))},
+		)
+	}
+	for _, l := range layers {
+		t.Ops = append(t.Ops,
+			regw(nvdla.RegInAddrLo, uint32(l.InputAddr)),
+			regw(nvdla.RegInAddrHi, uint32(l.InputAddr>>32)),
+			regw(nvdla.RegWtAddrLo, uint32(l.WeightAddr)),
+			regw(nvdla.RegWtAddrHi, uint32(l.WeightAddr>>32)),
+			regw(nvdla.RegOutAddrLo, uint32(l.OutputAddr)),
+			regw(nvdla.RegOutAddrHi, uint32(l.OutputAddr>>32)),
+			regw(nvdla.RegInBytes, l.InBytes),
+			regw(nvdla.RegWtBytes, l.WtBytes),
+			regw(nvdla.RegOutBytes, l.OutBytes),
+			regw(nvdla.RegTileBytes, l.TileBytes),
+			regw(nvdla.RegCyclesPerTile, l.CyclesPerTile),
+			regw(nvdla.RegLayerCommit, 1),
+		)
+		t.TotalReadBytes += uint64(l.InBytes + l.WtBytes)
+		t.TotalWriteBytes += uint64(l.OutBytes)
+		tiles := (uint64(l.InBytes+l.WtBytes) + uint64(l.TileBytes) - 1) / uint64(l.TileBytes)
+		t.ComputeCycles += tiles * uint64(l.CyclesPerTile)
+	}
+	t.Ops = append(t.Ops, Op{Kind: OpStart}, Op{Kind: OpWaitIRQ})
+	return t
+}
+
+func regw(addr uint64, val uint32) Op { return Op{Kind: OpWriteReg, Addr: addr, Val: val} }
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	v := seed
+	for i := range b {
+		b[i] = v
+		v = v*31 + 7
+	}
+	return b
+}
+
+// Sanity3 models the paper's small, memory-intensive convolution (§5.2.2):
+// low arithmetic intensity, so performance tracks memory bandwidth. The
+// aggregate demand is ~29 GB/s per accelerator — above one DDR4 channel,
+// below two — reproducing Figure 7's separations. base offsets each
+// accelerator instance into a private address region.
+func Sanity3(base uint64) *Trace {
+	return Build("sanity3", sanity3Layers(base))
+}
+
+func sanity3Layers(base uint64) []Layer {
+	const tile = 8192
+	return []Layer{{
+		InputAddr:  base + 0x0000_0000,
+		WeightAddr: base + 0x0100_0000,
+		OutputAddr: base + 0x0200_0000,
+		InBytes:    1 << 21, // 2 MiB activations
+		WtBytes:    1 << 19, // 512 KiB weights
+		OutBytes:   1 << 19,
+		TileBytes:  tile,
+		// 8 KiB per tile / 280 cycles ≈ 29 GB/s read demand.
+		CyclesPerTile: 280,
+	}}
+}
+
+// GoogleNet models the second convolution of the GoogleNet pipeline (3x3
+// filters, more computation per byte): demand ~22 GB/s per accelerator, so a
+// single instance runs near-ideal on everything but DDR4-1ch, two instances
+// need DDR4-4ch, and four exceed DDR4 entirely — Figure 6's shapes.
+func GoogleNet(base uint64) *Trace {
+	return Build("googlenet", googleNetLayers(base))
+}
+
+func googleNetLayers(base uint64) []Layer {
+	const tile = 8192
+	mk := func(i uint64) Layer {
+		return Layer{
+			InputAddr:  base + i*0x0400_0000,
+			WeightAddr: base + i*0x0400_0000 + 0x0100_0000,
+			OutputAddr: base + i*0x0400_0000 + 0x0200_0000,
+			InBytes:    1 << 21,
+			WtBytes:    1 << 20,
+			OutBytes:   1 << 20,
+			TileBytes:  tile,
+			// 8 KiB per tile / 360 cycles ≈ 22.8 GB/s read demand.
+			CyclesPerTile: 360,
+		}
+	}
+	return []Layer{mk(0), mk(1)}
+}
+
+// ByName resolves the evaluation workload names.
+func ByName(name string, base uint64) (*Trace, error) {
+	return Scaled(name, base, 1)
+}
+
+// Scaled regenerates a named workload with every layer footprint divided by
+// scale (>=1). Tile size and per-tile compute are unchanged, so arithmetic
+// intensity — and therefore the bandwidth-demand shapes of the DSE — is
+// preserved while runs shrink proportionally.
+func Scaled(name string, base uint64, scale int) (*Trace, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	var t *Trace
+	switch name {
+	case "sanity3":
+		t = Sanity3(base)
+	case "googlenet":
+		t = GoogleNet(base)
+	default:
+		return nil, fmt.Errorf("trace: unknown workload %q (want sanity3 or googlenet)", name)
+	}
+	if scale == 1 {
+		return t, nil
+	}
+	layers := layerSpecs[name](base)
+	for i := range layers {
+		layers[i].InBytes = roundTile(layers[i].InBytes/uint32(scale), layers[i].TileBytes)
+		layers[i].WtBytes = roundTile(layers[i].WtBytes/uint32(scale), layers[i].TileBytes/2)
+		layers[i].OutBytes = layers[i].OutBytes / uint32(scale) / 64 * 64
+	}
+	return Build(name, layers), nil
+}
+
+// roundTile keeps a scaled size a positive multiple of 64 bytes.
+func roundTile(n, minN uint32) uint32 {
+	if n < 64 {
+		n = 64
+	}
+	if n < minN {
+		n = minN
+	}
+	return n / 64 * 64
+}
+
+// layerSpecs maps workload names to their layer generators.
+var layerSpecs = map[string]func(base uint64) []Layer{
+	"sanity3":   sanity3Layers,
+	"googlenet": googleNetLayers,
+}

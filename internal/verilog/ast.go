@@ -1,0 +1,229 @@
+package verilog
+
+// AST node definitions for the supported Verilog subset. Positions are
+// line numbers for error reporting during elaboration.
+
+// SourceFile is a parsed compilation unit: one or more modules.
+type SourceFile struct {
+	Modules []*ModuleDecl
+}
+
+// ModuleByName returns the named module, or nil.
+func (s *SourceFile) ModuleByName(name string) *ModuleDecl {
+	for _, m := range s.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ModuleDecl is one module ... endmodule.
+type ModuleDecl struct {
+	Name   string
+	Params []*ParamDecl // header #(...) parameters
+	Ports  []*PortDecl  // ANSI port list
+	Items  []Item
+	Line   int
+}
+
+// ParamDecl is a parameter or localparam.
+type ParamDecl struct {
+	Name  string
+	Value Expr
+	Local bool
+	Line  int
+}
+
+// Dir is a port direction.
+type Dir int
+
+// Port directions.
+const (
+	DirInput Dir = iota
+	DirOutput
+)
+
+// PortDecl is one ANSI-style port declaration.
+type PortDecl struct {
+	Name  string
+	Dir   Dir
+	IsReg bool // output reg / output logic
+	MSB   Expr // nil for scalar
+	LSB   Expr
+	Line  int
+}
+
+// Item is a module-level item.
+type Item interface{ item() }
+
+// NetDecl declares wires, regs, or memories.
+type NetDecl struct {
+	IsReg bool
+	Names []NetName
+	MSB   Expr // vector range, nil for scalar
+	LSB   Expr
+	Line  int
+}
+
+// NetName is one declarator within a NetDecl; ArrayMSB/LSB non-nil makes it
+// a memory. An optional initialiser (wire x = expr) becomes an assign.
+type NetName struct {
+	Name     string
+	ArrayMSB Expr
+	ArrayLSB Expr
+	Init     Expr
+}
+
+// AssignItem is a continuous assignment.
+type AssignItem struct {
+	LHS  *LValue
+	RHS  Expr
+	Line int
+}
+
+// AlwaysKind distinguishes clocked from combinational always blocks.
+type AlwaysKind int
+
+// Always block kinds.
+const (
+	AlwaysSeq  AlwaysKind = iota // @(posedge clk [or ...])
+	AlwaysComb                   // @* / @(...) level-sensitive / always_comb
+)
+
+// AlwaysItem is an always block.
+type AlwaysItem struct {
+	Kind AlwaysKind
+	Body []Stmt
+	Line int
+}
+
+// InstanceItem is a module instantiation with named connections.
+type InstanceItem struct {
+	ModName  string
+	InstName string
+	Params   map[string]Expr // #(.N(8)) overrides
+	Conns    map[string]Expr // .port(expr); nil Expr means unconnected
+	Line     int
+}
+
+func (*NetDecl) item()      {}
+func (*AssignItem) item()   {}
+func (*AlwaysItem) item()   {}
+func (*InstanceItem) item() {}
+func (*ParamDecl) item()    {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ stmt() }
+
+// AssignStmt is a blocking (=) or non-blocking (<=) assignment.
+type AssignStmt struct {
+	LHS      *LValue
+	RHS      Expr
+	Blocking bool
+	Line     int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// CaseItem is one arm of a case statement.
+type CaseItem struct {
+	Matches []Expr // empty means default
+	Body    []Stmt
+}
+
+// CaseStmt is case ... endcase.
+type CaseStmt struct {
+	Subject Expr
+	Items   []CaseItem
+	Line    int
+}
+
+// NullStmt is a lone semicolon or an ignored system task call.
+type NullStmt struct{}
+
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*CaseStmt) stmt()   {}
+func (*NullStmt) stmt()   {}
+
+// LValue is an assignment target: name, name[idx] (bit select or memory
+// element), or name[msb:lsb] (part select).
+type LValue struct {
+	Name     string
+	Index    Expr // single index (bit or memory word)
+	MSB, LSB Expr // part select
+	Line     int
+}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumExpr is a literal with optional explicit size.
+type NumExpr struct {
+	Val   uint64
+	Width int // 0 means unsized (defaults to 32)
+	Line  int
+}
+
+// IdentExpr references a signal or parameter.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// SelectExpr is base[idx] or base[msb:lsb] within an expression.
+type SelectExpr struct {
+	Base     Expr
+	Index    Expr
+	MSB, LSB Expr
+	Line     int
+}
+
+// UnaryExpr applies a unary operator: ~ ! - & | ^ + ~| ~&.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// CondExpr is the ternary conditional.
+type CondExpr struct {
+	Cond, T, F Expr
+	Line       int
+}
+
+// ConcatExpr is {a, b, ...}.
+type ConcatExpr struct {
+	Parts []Expr
+	Line  int
+}
+
+// RepeatExpr is {n{x}}.
+type RepeatExpr struct {
+	Count Expr
+	X     Expr
+	Line  int
+}
+
+func (*NumExpr) expr()    {}
+func (*IdentExpr) expr()  {}
+func (*SelectExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*CondExpr) expr()   {}
+func (*ConcatExpr) expr() {}
+func (*RepeatExpr) expr() {}

@@ -1,0 +1,883 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse scans and parses Verilog source into a SourceFile AST.
+func Parse(src string) (*SourceFile, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &SourceFile{}
+	for !p.atEOF() {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		file.Modules = append(file.Modules, m)
+	}
+	if len(file.Modules) == 0 {
+		return nil, fmt.Errorf("verilog: no modules in source")
+	}
+	return file, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("verilog: line %d:%d: %s (at %q)", t.line, t.col,
+		fmt.Sprintf(format, args...), t.text)
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKw(s string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(s string) bool {
+	if p.isKw(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) expectKw(s string) error {
+	if !p.acceptKw(s) {
+		return p.errf("expected keyword %q", s)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// parseModule parses: module name [#(params)] (ports); items endmodule
+func (p *parser) parseModule() (*ModuleDecl, error) {
+	line := p.cur().line
+	if err := p.expectKw("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &ModuleDecl{Name: name, Line: line}
+	if p.acceptPunct("#") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			p.acceptKw("parameter") // optional repeated keyword
+			// optional type/range, e.g. parameter integer N or [7:0]
+			p.acceptKw("integer")
+			if p.isPunct("[") {
+				if _, _, err := p.parseRange(); err != nil {
+					return nil, err
+				}
+			}
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, &ParamDecl{Name: pname, Value: val, Line: line})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		// ANSI port declarations.
+		var dir Dir
+		var isReg bool
+		var msb, lsb Expr
+		haveDir := false
+		for {
+			for {
+				if p.acceptKw("input") {
+					dir, isReg, msb, lsb, haveDir = DirInput, false, nil, nil, true
+				} else if p.acceptKw("output") {
+					dir, isReg, msb, lsb, haveDir = DirOutput, false, nil, nil, true
+				} else if p.acceptKw("inout") {
+					return nil, p.errf("inout ports are not supported")
+				} else {
+					break
+				}
+				if p.acceptKw("reg") || p.acceptKw("logic") || p.acceptKw("wire") {
+					if dir == DirOutput && (p.toks[p.pos-1].text == "reg" || p.toks[p.pos-1].text == "logic") {
+						isReg = true
+					}
+				}
+				if p.isPunct("[") {
+					var err error
+					msb, lsb, err = p.parseRange()
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if !haveDir {
+				return nil, p.errf("expected port direction")
+			}
+			pline := p.cur().line
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = append(m.Ports, &PortDecl{Name: pname, Dir: dir, IsReg: isReg, MSB: msb, LSB: lsb, Line: pline})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	for !p.acceptKw("endmodule") {
+		if p.atEOF() {
+			return nil, p.errf("unexpected EOF inside module %q", name)
+		}
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		if item != nil {
+			m.Items = append(m.Items, item)
+		}
+	}
+	return m, nil
+}
+
+// parseRange parses [msb:lsb].
+func (p *parser) parseRange() (msb, lsb Expr, err error) {
+	if err = p.expectPunct("["); err != nil {
+		return
+	}
+	msb, err = p.parseExpr()
+	if err != nil {
+		return
+	}
+	if err = p.expectPunct(":"); err != nil {
+		return
+	}
+	lsb, err = p.parseExpr()
+	if err != nil {
+		return
+	}
+	err = p.expectPunct("]")
+	return
+}
+
+func (p *parser) parseItem() (Item, error) {
+	line := p.cur().line
+	switch {
+	case p.isKw("wire") || p.isKw("reg") || p.isKw("logic") || p.isKw("integer"):
+		return p.parseNetDecl()
+	case p.isKw("assign"):
+		p.pos++
+		lhs, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignItem{LHS: lhs, RHS: rhs, Line: line}, nil
+	case p.isKw("always") || p.isKw("always_ff") || p.isKw("always_comb"):
+		return p.parseAlways()
+	case p.isKw("parameter") || p.isKw("localparam"):
+		local := p.cur().text == "localparam"
+		p.pos++
+		p.acceptKw("integer")
+		if p.isPunct("[") {
+			if _, _, err := p.parseRange(); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ParamDecl{Name: name, Value: val, Local: local, Line: line}, nil
+	case p.isKw("initial") || p.isKw("genvar") || p.isKw("generate"):
+		return nil, p.errf("%q blocks are not supported by the gem5rtl subset", p.cur().text)
+	case p.cur().kind == tokIdent:
+		return p.parseInstance()
+	case p.acceptPunct(";"):
+		return nil, nil
+	}
+	return nil, p.errf("unexpected token at module level")
+}
+
+func (p *parser) parseNetDecl() (Item, error) {
+	line := p.cur().line
+	kw := p.next().text
+	isReg := kw == "reg" || kw == "logic" || kw == "integer"
+	var msb, lsb Expr
+	if kw == "integer" {
+		msb, lsb = &NumExpr{Val: 31, Width: 0, Line: line}, &NumExpr{Val: 0, Width: 0, Line: line}
+	}
+	if p.isPunct("[") {
+		var err error
+		msb, lsb, err = p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := &NetDecl{IsReg: isReg, MSB: msb, LSB: lsb, Line: line}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		nn := NetName{Name: name}
+		if p.isPunct("[") {
+			nn.ArrayMSB, nn.ArrayLSB, err = p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.acceptPunct("=") {
+			nn.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		d.Names = append(d.Names, nn)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseAlways() (Item, error) {
+	line := p.cur().line
+	kw := p.next().text
+	kind := AlwaysComb
+	if kw == "always" || kw == "always_ff" {
+		if p.acceptPunct("@") {
+			if p.acceptPunct("*") {
+				kind = AlwaysComb
+			} else if p.acceptPunct("(") {
+				if p.acceptPunct("*") {
+					kind = AlwaysComb
+				} else {
+					// Sensitivity list: posedge/negedge terms make it
+					// sequential; plain signals make it combinational.
+					for {
+						if p.acceptKw("posedge") {
+							kind = AlwaysSeq
+							if _, err := p.expectIdent(); err != nil {
+								return nil, err
+							}
+						} else if p.acceptKw("negedge") {
+							kind = AlwaysSeq
+							if _, err := p.expectIdent(); err != nil {
+								return nil, err
+							}
+						} else {
+							if _, err := p.expectIdent(); err != nil {
+								return nil, err
+							}
+						}
+						if !p.acceptKw("or") && !p.acceptPunct(",") {
+							break
+						}
+					}
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			} else {
+				return nil, p.errf("expected sensitivity list after @")
+			}
+		} else if kw == "always" {
+			return nil, p.errf("always without sensitivity list is not supported")
+		} else {
+			// always_ff requires @(...); tolerate missing for robustness.
+			kind = AlwaysSeq
+		}
+		if kw == "always_ff" {
+			kind = AlwaysSeq
+		}
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &AlwaysItem{Kind: kind, Body: body, Line: line}, nil
+}
+
+// parseStmtOrBlock parses either a begin..end block or a single statement.
+func (p *parser) parseStmtOrBlock() ([]Stmt, error) {
+	if p.acceptKw("begin") {
+		// optional block label
+		if p.acceptPunct(":") {
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		var stmts []Stmt
+		for !p.acceptKw("end") {
+			if p.atEOF() {
+				return nil, p.errf("unexpected EOF in begin/end block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				stmts = append(stmts, s)
+			}
+		}
+		return stmts, nil
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.acceptPunct(";"):
+		return &NullStmt{}, nil
+	case p.isKw("if"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.acceptKw("else") {
+			els, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+	case p.isKw("case") || p.isKw("casez") || p.isKw("casex"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		subj, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		cs := &CaseStmt{Subject: subj, Line: line}
+		for !p.acceptKw("endcase") {
+			if p.atEOF() {
+				return nil, p.errf("unexpected EOF in case")
+			}
+			var item CaseItem
+			if p.acceptKw("default") {
+				p.acceptPunct(":")
+			} else {
+				for {
+					m, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					item.Matches = append(item.Matches, m)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+			}
+			item.Body, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+			cs.Items = append(cs.Items, item)
+		}
+		return cs, nil
+	case p.cur().kind == tokSysIdent:
+		// $display and friends: parse and discard.
+		p.pos++
+		if p.acceptPunct("(") {
+			depth := 1
+			for depth > 0 {
+				if p.atEOF() {
+					return nil, p.errf("unexpected EOF in system task")
+				}
+				t := p.next()
+				if t.kind == tokPunct && t.text == "(" {
+					depth++
+				}
+				if t.kind == tokPunct && t.text == ")" {
+					depth--
+				}
+			}
+		}
+		p.acceptPunct(";")
+		return &NullStmt{}, nil
+	case p.isKw("for") || p.isKw("while") || p.isKw("repeat") || p.isKw("forever"):
+		return nil, p.errf("procedural %q loops are not supported by the gem5rtl subset", p.cur().text)
+	default:
+		lhs, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		blocking := true
+		if p.acceptPunct("<=") {
+			blocking = false
+		} else if !p.acceptPunct("=") {
+			return nil, p.errf("expected assignment operator")
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, Blocking: blocking, Line: line}, nil
+	}
+}
+
+func (p *parser) parseLValue() (*LValue, error) {
+	line := p.cur().line
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Name: name, Line: line}
+	if p.acceptPunct("[") {
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptPunct(":") {
+			lv.MSB = first
+			lv.LSB, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			lv.Index = first
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	return lv, nil
+}
+
+func (p *parser) parseInstance() (Item, error) {
+	line := p.cur().line
+	modName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	inst := &InstanceItem{ModName: modName, Line: line,
+		Params: map[string]Expr{}, Conns: map[string]Expr{}}
+	if p.acceptPunct("#") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			if err := p.expectPunct("."); err != nil {
+				return nil, err
+			}
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			inst.Params[pname] = val
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	inst.InstName, err = p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		for {
+			if err := p.expectPunct("."); err != nil {
+				return nil, p.errf("only named port connections are supported")
+			}
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if p.isPunct(")") {
+				inst.Conns[pname] = nil
+			} else {
+				val, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				inst.Conns[pname] = val
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Expression parsing: precedence climbing. Verilog precedence, high to low:
+// unary; ** ; * / %; + -; << >> >>>; < <= > >=; == !=; &; ^; |; &&; ||; ?:
+var binPrec = map[string]int{
+	"**": 11,
+	"*":  10, "/": 10, "%": 10,
+	"+": 9, "-": 9,
+	"<<": 8, ">>": 8, ">>>": 8, "<<<": 8,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"&":  5,
+	"^":  4,
+	"|":  3,
+	"&&": 2,
+	"||": 1,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	line := p.cur().line
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("?") {
+		t, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{Cond: cond, T: t, F: f, Line: line}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := t.text
+		line := t.line
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "~", "!", "-", "+", "&", "|", "^":
+			p.pos++
+			// handle ~| ~& ~^ reductions
+			op := t.text
+			if op == "~" && p.cur().kind == tokPunct {
+				switch p.cur().text {
+				case "|", "&", "^":
+					op = "~" + p.cur().text
+					p.pos++
+				}
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if op == "+" {
+				return x, nil
+			}
+			return &UnaryExpr{Op: op, X: x, Line: t.line}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("[") {
+		line := p.cur().line
+		p.pos++
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel := &SelectExpr{Base: base, Line: line}
+		if p.acceptPunct(":") {
+			sel.MSB = first
+			sel.LSB, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			sel.Index = first
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		base = sel
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return decodeNumber(t)
+	case t.kind == tokIdent:
+		p.pos++
+		return &IdentExpr{Name: t.text, Line: t.line}, nil
+	case p.acceptPunct("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.isPunct("{"):
+		line := t.line
+		p.pos++
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// {n{expr}} replication?
+		if p.isPunct("{") {
+			p.pos++
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			return &RepeatExpr{Count: first, X: inner, Line: line}, nil
+		}
+		cat := &ConcatExpr{Parts: []Expr{first}, Line: line}
+		for p.acceptPunct(",") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cat.Parts = append(cat.Parts, e)
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return cat, nil
+	}
+	return nil, p.errf("expected expression")
+}
+
+// decodeNumber parses Verilog literal text into value and width.
+func decodeNumber(t token) (Expr, error) {
+	s := strings.ReplaceAll(t.text, "_", "")
+	q := strings.IndexByte(s, '\'')
+	if q < 0 {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad number %q", t.line, t.text)
+		}
+		return &NumExpr{Val: v, Width: 0, Line: t.line}, nil
+	}
+	width := 0
+	if q > 0 {
+		w, err := strconv.Atoi(s[:q])
+		if err != nil || w < 1 || w > 64 {
+			return nil, fmt.Errorf("verilog: line %d: bad literal size in %q (1..64 supported)", t.line, t.text)
+		}
+		width = w
+	}
+	rest := s[q+1:]
+	if rest != "" && (rest[0] == 's' || rest[0] == 'S') {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("verilog: line %d: truncated literal %q", t.line, t.text)
+	}
+	base := 10
+	switch rest[0] {
+	case 'b', 'B':
+		base = 2
+	case 'o', 'O':
+		base = 8
+	case 'd', 'D':
+		base = 10
+	case 'h', 'H':
+		base = 16
+	}
+	digits := rest[1:]
+	if strings.ContainsAny(digits, "xXzZ") {
+		// x/z bits are not supported in the two-state engine; treat as 0,
+		// matching Verilator's default two-state conversion.
+		digits = strings.Map(func(r rune) rune {
+			if r == 'x' || r == 'X' || r == 'z' || r == 'Z' {
+				return '0'
+			}
+			return r
+		}, digits)
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: line %d: bad literal %q", t.line, t.text)
+	}
+	return &NumExpr{Val: v, Width: width, Line: t.line}, nil
+}

@@ -1,0 +1,965 @@
+package vhdl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse scans and parses VHDL source into a Design.
+func Parse(src string) (*Design, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	d := &Design{}
+	entities := map[string]*Entity{}
+	for !p.atEOF() {
+		switch {
+		case p.isKw("library"), p.isKw("use"):
+			// Skip context clauses up to the semicolon.
+			for !p.atEOF() && !p.isPunct(";") {
+				p.pos++
+			}
+			p.acceptPunct(";")
+		case p.isKw("entity"):
+			e, err := p.parseEntity()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := entities[e.Name]; dup {
+				return nil, fmt.Errorf("vhdl: duplicate entity %q", e.Name)
+			}
+			entities[e.Name] = e
+			d.Entities = append(d.Entities, e)
+		case p.isKw("architecture"):
+			if err := p.parseArchitecture(entities); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected entity, architecture, library or use")
+		}
+	}
+	if len(d.Entities) == 0 {
+		return nil, fmt.Errorf("vhdl: no entities in source")
+	}
+	return d, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("vhdl: line %d: %s (at %q)", t.line, fmt.Sprintf(format, args...), t.text)
+}
+
+func (p *parser) isKw(s string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == s
+}
+func (p *parser) isPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+func (p *parser) acceptKw(s string) bool {
+	if p.isKw(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) expectKw(s string) error {
+	if !p.acceptKw(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	s := p.cur().text
+	p.pos++
+	return s, nil
+}
+
+var vhdlKeywords = map[string]bool{
+	"when": true, "else": true, "then": true, "elsif": true, "end": true,
+	"and": true, "or": true, "xor": true, "nand": true, "nor": true, "xnor": true,
+	"not": true, "downto": true, "to": true, "is": true, "begin": true,
+	"process": true, "case": true, "if": true, "others": true, "sll": true,
+	"srl": true, "mod": true, "rem": true, "loop": true, "generate": true,
+}
+
+func (p *parser) parseEntity() (*Entity, error) {
+	line := p.cur().line
+	if err := p.expectKw("entity"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	e := &Entity{Name: name, Line: line}
+	if p.acceptKw("generic") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			gname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent(); err != nil { // type (integer etc.)
+				return nil, err
+			}
+			var def expr
+			if p.acceptPunct(":=") {
+				def, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			e.Generics = append(e.Generics, genericDecl{gname, def})
+			if !p.acceptPunct(";") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("port") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			pline := p.cur().line
+			// name {, name} : in|out type
+			var names []string
+			for {
+				n, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				names = append(names, n)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			isIn := false
+			if p.acceptKw("in") {
+				isIn = true
+			} else if p.acceptKw("out") || p.acceptKw("buffer") {
+				isIn = false
+			} else if p.acceptKw("inout") {
+				return nil, p.errf("inout ports are not supported")
+			} else {
+				return nil, p.errf("expected port direction")
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				e.Ports = append(e.Ports, portDecl{name: n, isIn: isIn, typ: typ, line: pline})
+			}
+			if !p.acceptPunct(";") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("entity")
+	if p.cur().kind == tokIdent {
+		p.pos++
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseType() (typeRef, error) {
+	line := p.cur().line
+	name, err := p.expectIdent()
+	if err != nil {
+		return typeRef{}, err
+	}
+	t := typeRef{name: name, line: line}
+	if p.acceptPunct("(") {
+		msb, err := p.parseExpr()
+		if err != nil {
+			return t, err
+		}
+		if !p.acceptKw("downto") {
+			return t, p.errf("only (N downto 0) ranges are supported")
+		}
+		lsbTok := p.cur()
+		lsb, err := p.parseExpr()
+		if err != nil {
+			return t, err
+		}
+		if n, ok := lsb.(*numLit); !ok || n.val != 0 {
+			return t, fmt.Errorf("vhdl: line %d: only (N downto 0) ranges are supported", lsbTok.line)
+		}
+		t.msb = msb
+		if err := p.expectPunct(")"); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+func (p *parser) parseArchitecture(entities map[string]*Entity) error {
+	if err := p.expectKw("architecture"); err != nil {
+		return err
+	}
+	if _, err := p.expectIdent(); err != nil { // arch name
+		return err
+	}
+	if err := p.expectKw("of"); err != nil {
+		return err
+	}
+	ename, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	e, ok := entities[ename]
+	if !ok {
+		return p.errf("architecture for unknown entity %q", ename)
+	}
+	if err := p.expectKw("is"); err != nil {
+		return err
+	}
+	// Declarative part: signal declarations (components are ignored in favour
+	// of direct entity instantiation; constants become generics-like).
+	for !p.isKw("begin") {
+		if p.atEOF() {
+			return p.errf("unexpected EOF in architecture")
+		}
+		switch {
+		case p.acceptKw("signal"):
+			line := p.cur().line
+			var names []string
+			for {
+				n, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				names = append(names, n)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			var init expr
+			if p.acceptPunct(":=") {
+				init, err = p.parseExpr()
+				if err != nil {
+					return err
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			for _, n := range names {
+				e.Signals = append(e.Signals, signalDecl{name: n, typ: typ, init: init, line: line})
+			}
+		case p.acceptKw("constant"):
+			// constant NAME : type := value;  -> treated as a generic default.
+			n, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			if _, err := p.parseType(); err != nil {
+				return err
+			}
+			if err := p.expectPunct(":="); err != nil {
+				return err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			e.Generics = append(e.Generics, genericDecl{n, v})
+		default:
+			return p.errf("unsupported architecture declaration")
+		}
+	}
+	p.pos++ // begin
+	for !p.isKw("end") {
+		if p.atEOF() {
+			return p.errf("unexpected EOF in architecture body")
+		}
+		c, err := p.parseConcurrent()
+		if err != nil {
+			return err
+		}
+		e.Concs = append(e.Concs, c)
+	}
+	p.pos++ // end
+	p.acceptKw("architecture")
+	if p.cur().kind == tokIdent {
+		p.pos++
+	}
+	return p.expectPunct(";")
+}
+
+func (p *parser) parseConcurrent() (conc, error) {
+	line := p.cur().line
+	if p.isKw("process") {
+		return p.parseProcess()
+	}
+	// Could be "label: process", "label: entity work.x ...", or an assignment.
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ":" {
+		label := p.cur().text
+		p.pos += 2
+		if p.isKw("process") {
+			return p.parseProcess()
+		}
+		if p.acceptKw("entity") {
+			if p.acceptKw("work") {
+				if err := p.expectPunct("."); err != nil {
+					return nil, err
+				}
+			}
+			ename, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			inst := &instance{label: label, entity: ename, line: line,
+				generics: map[string]expr{}, ports: map[string]expr{}}
+			if p.acceptKw("generic") {
+				if err := p.expectKw("map"); err != nil {
+					return nil, err
+				}
+				if err := p.parseMap(inst.generics); err != nil {
+					return nil, err
+				}
+			}
+			if p.acceptKw("port") {
+				if err := p.expectKw("map"); err != nil {
+					return nil, err
+				}
+				if err := p.parseMap(inst.ports); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		}
+		return nil, p.errf("unsupported labelled concurrent statement")
+	}
+	// Concurrent (possibly conditional) signal assignment.
+	target, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("<="); err != nil {
+		return nil, err
+	}
+	ca := &concAssign{target: target, line: line}
+	for {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ca.vals = append(ca.vals, v)
+		if p.acceptKw("when") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ca.conds = append(ca.conds, cond)
+			if err := p.expectKw("else"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return ca, nil
+}
+
+func (p *parser) parseMap(out map[string]expr) error {
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("=>"); err != nil {
+			return err
+		}
+		if p.acceptKw("open") {
+			out[name] = nil
+		} else {
+			v, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			out[name] = v
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return p.expectPunct(")")
+}
+
+func (p *parser) parseProcess() (conc, error) {
+	line := p.cur().line
+	if err := p.expectKw("process"); err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("(") {
+		for !p.acceptPunct(")") {
+			if p.atEOF() {
+				return nil, p.errf("unterminated sensitivity list")
+			}
+			p.pos++
+		}
+	}
+	p.acceptKw("is")
+	if p.isKw("variable") {
+		return nil, p.errf("process variables are not supported")
+	}
+	if err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("process"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokIdent {
+		p.pos++
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	pr := &process{body: body, line: line}
+	pr.seq = containsRisingEdge(body)
+	return pr, nil
+}
+
+// parseStmts parses statements until end/elsif/else/when.
+func (p *parser) parseStmts() ([]stmtNode, error) {
+	var out []stmtNode
+	for {
+		if p.isKw("end") || p.isKw("elsif") || p.isKw("else") || p.isKw("when") || p.atEOF() {
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseStmt() (stmtNode, error) {
+	line := p.cur().line
+	switch {
+	case p.acceptKw("null"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &nullNode{}, nil
+	case p.isKw("if"):
+		p.pos++
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmts()
+		if err != nil {
+			return nil, err
+		}
+		node := &ifNode{cond: cond, then: then, line: line}
+		cur := node
+		for p.isKw("elsif") {
+			p.pos++
+			c2, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("then"); err != nil {
+				return nil, err
+			}
+			b2, err := p.parseStmts()
+			if err != nil {
+				return nil, err
+			}
+			nxt := &ifNode{cond: c2, then: b2, line: line}
+			cur.els = []stmtNode{nxt}
+			cur = nxt
+		}
+		if p.acceptKw("else") {
+			els, err := p.parseStmts()
+			if err != nil {
+				return nil, err
+			}
+			cur.els = els
+		}
+		if err := p.expectKw("end"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("if"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return node, nil
+	case p.isKw("case"):
+		p.pos++
+		subj, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("is"); err != nil {
+			return nil, err
+		}
+		cn := &caseNode{subject: subj, line: line}
+		for p.acceptKw("when") {
+			var arm caseArm
+			if p.acceptKw("others") {
+				// choices stays empty
+			} else {
+				for {
+					ch, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					arm.choices = append(arm.choices, ch)
+					if !p.acceptPunct("|") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct("=>"); err != nil {
+				return nil, err
+			}
+			arm.body, err = p.parseStmts()
+			if err != nil {
+				return nil, err
+			}
+			cn.arms = append(cn.arms, arm)
+		}
+		if err := p.expectKw("end"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("case"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return cn, nil
+	case p.isKw("for") || p.isKw("while") || p.isKw("loop"):
+		return nil, p.errf("loops are not supported by the gem5rtl VHDL subset")
+	default:
+		target, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("<="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &sigAssign{target: target, rhs: rhs, line: line}, nil
+	}
+}
+
+func (p *parser) parseLValue() (lvalue, error) {
+	line := p.cur().line
+	name, err := p.expectIdent()
+	if err != nil {
+		return lvalue{}, err
+	}
+	lv := lvalue{name: name, line: line}
+	if p.acceptPunct("(") {
+		first, err := p.parseExpr()
+		if err != nil {
+			return lv, err
+		}
+		if p.acceptKw("downto") {
+			lv.msb = first
+			lv.lsb, err = p.parseExpr()
+			if err != nil {
+				return lv, err
+			}
+		} else {
+			lv.index = first
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return lv, err
+		}
+	}
+	return lv, nil
+}
+
+// containsRisingEdge reports whether any condition in the statement tree
+// calls rising_edge (making the process clocked).
+func containsRisingEdge(stmts []stmtNode) bool {
+	for _, s := range stmts {
+		if n, ok := s.(*ifNode); ok {
+			if exprHasRisingEdge(n.cond) || containsRisingEdge(n.then) || containsRisingEdge(n.els) {
+				return true
+			}
+		}
+		if n, ok := s.(*caseNode); ok {
+			for _, a := range n.arms {
+				if containsRisingEdge(a.body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func exprHasRisingEdge(e expr) bool {
+	switch v := e.(type) {
+	case *callExpr:
+		if v.fn == "rising_edge" || v.fn == "falling_edge" {
+			return true
+		}
+		for _, a := range v.args {
+			if exprHasRisingEdge(a) {
+				return true
+			}
+		}
+	case *binE:
+		return exprHasRisingEdge(v.x) || exprHasRisingEdge(v.y)
+	case *unaryE:
+		return exprHasRisingEdge(v.x)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing. VHDL precedence (low to high): logical (and/or/...),
+// relational, shift, adding, multiplying, misc (**, not).
+
+func (p *parser) parseExpr() (expr, error) {
+	return p.parseLogical()
+}
+
+func (p *parser) parseLogical() (expr, error) {
+	lhs, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return lhs, nil
+		}
+		switch t.text {
+		case "and", "or", "xor", "nand", "nor", "xnor":
+			p.pos++
+			rhs, err := p.parseRelational()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &binE{op: t.text, x: lhs, y: rhs, line: t.line}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) parseRelational() (expr, error) {
+	lhs, err := p.parseShift()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "/=", "<", "<=", ">", ">=":
+			p.pos++
+			rhs, err := p.parseShift()
+			if err != nil {
+				return nil, err
+			}
+			return &binE{op: t.text, x: lhs, y: rhs, line: t.line}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseShift() (expr, error) {
+	lhs, err := p.parseAdding()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("sll") || p.isKw("srl") || p.isKw("sra") {
+		op := p.cur().text
+		line := p.cur().line
+		p.pos++
+		rhs, err := p.parseAdding()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binE{op: op, x: lhs, y: rhs, line: line}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAdding() (expr, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-" || t.text == "&") {
+			p.pos++
+			rhs, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &binE{op: t.text, x: lhs, y: rhs, line: t.line}
+			continue
+		}
+		return lhs, nil
+	}
+}
+
+func (p *parser) parseMul() (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		isMul := t.kind == tokPunct && (t.text == "*" || t.text == "/")
+		isMod := t.kind == tokIdent && (t.text == "mod" || t.text == "rem")
+		if !isMul && !isMod {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binE{op: t.text, x: lhs, y: rhs, line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokIdent && t.text == "not" {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryE{op: "not", x: x, line: t.line}, nil
+	}
+	if t.kind == tokPunct && t.text == "-" {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryE{op: "-", x: x, line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// name(args) is either an index/slice or a call; disambiguated at
+	// elaboration by the callExpr produced in parsePrimary.
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		v, err := strconv.ParseUint(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: bad number %q", t.line, t.text)
+		}
+		return &numLit{val: v, w: 0, line: t.line}, nil
+	case tokChar:
+		p.pos++
+		switch t.text {
+		case "0":
+			return &numLit{val: 0, w: 1, line: t.line}, nil
+		case "1":
+			return &numLit{val: 1, w: 1, line: t.line}, nil
+		default:
+			// 'X', 'Z', 'U' etc. collapse to 0 in the two-state engine.
+			return &numLit{val: 0, w: 1, line: t.line}, nil
+		}
+	case tokBits:
+		p.pos++
+		if len(t.text) == 0 || len(t.text) > 64 {
+			return nil, fmt.Errorf("vhdl: line %d: bit string length %d unsupported", t.line, len(t.text))
+		}
+		var v uint64
+		for _, c := range t.text {
+			v <<= 1
+			if c == '1' {
+				v |= 1
+			}
+		}
+		return &numLit{val: v, w: len(t.text), line: t.line}, nil
+	case tokHex:
+		p.pos++
+		v, err := strconv.ParseUint(t.text, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: bad hex literal %q", t.line, t.text)
+		}
+		return &numLit{val: v, w: 4 * len(t.text), line: t.line}, nil
+	case tokIdent:
+		name := t.text
+		line := t.line
+		p.pos++
+		if p.acceptPunct("(") {
+			// others aggregate? (others => '0')
+			if name == "" {
+				return nil, p.errf("internal: empty name")
+			}
+			var args []expr
+			var msb, lsb expr
+			isSlice := false
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if p.acceptKw("downto") {
+					msb = a
+					lsb, err = p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					isSlice = true
+					break
+				}
+				args = append(args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if isSlice {
+				return &selectE{base: &identRef{name: name, line: line}, msb: msb, lsb: lsb, line: line}, nil
+			}
+			return &callExpr{fn: name, args: args, line: line}, nil
+		}
+		return &identRef{name: name, line: line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			// (others => '0') aggregate?
+			if p.acceptKw("others") {
+				if err := p.expectPunct("=>"); err != nil {
+					return nil, err
+				}
+				bitTok := p.cur()
+				if bitTok.kind != tokChar {
+					return nil, p.errf("expected '0' or '1' in others aggregate")
+				}
+				p.pos++
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return &othersE{bit: bitTok.text[0], line: t.line}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected expression")
+}

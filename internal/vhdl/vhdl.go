@@ -1,0 +1,294 @@
+// Package vhdl implements gem5rtl's VHDL toolflow: a lexer, parser and
+// elaborator for a synthesisable VHDL subset, playing the role GHDL plays in
+// the paper — the first time (per the paper) a VHDL flow is interfaced with
+// a gem5-style simulator. Source text elaborates into the same internal/rtl
+// intermediate representation as the Verilog frontend, so VHDL designs plug
+// into RTLObject identically.
+//
+// Supported subset: entity with generics and in/out ports of std_logic,
+// std_logic_vector/unsigned/signed (N downto 0) and integer; architecture
+// with signal declarations and initialisers; concurrent simple and
+// conditional ("when/else") assignments; processes with sensitivity lists,
+// rising_edge clocking (including the async-reset idiom, approximated as
+// synchronous), if/elsif/else, case/when; entity instantiation with generic
+// and port maps; the usual operators; (others => '0'/'1') aggregates;
+// bit-string and hex literals; and the numeric_std casts
+// (std_logic_vector, unsigned, signed, resize, to_unsigned, to_integer),
+// which are width-preserving no-ops over the engine's two-state vectors.
+package vhdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokChar // '0'
+	tokBits // "0101"
+	tokHex  // x"AF"
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers are lower-cased (VHDL is case-insensitive)
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case (c == 'x' || c == 'X') && i+1 < len(src) && src[i+1] == '"':
+			j := i + 2
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("vhdl: line %d: unterminated hex literal", line)
+			}
+			toks = append(toks, token{tokHex, src[i+2 : j], line})
+			i = j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("vhdl: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tokBits, src[i+1 : j], line})
+			i = j + 1
+		case c == '\'' && i+2 < len(src) && src[i+2] == '\'':
+			toks = append(toks, token{tokChar, src[i+1 : i+2], line})
+			i += 3
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(src[i:j]), line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, strings.ReplaceAll(src[i:j], "_", ""), line})
+			i = j
+		default:
+			// Multi-char punctuation.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "/=", "=>", ":=", "**":
+				toks = append(toks, token{tokPunct, two, line})
+				i += 2
+			default:
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// ---------------------------------------------------------------------------
+// AST
+
+// Design is a parsed VHDL file: entities paired with their architectures.
+type Design struct {
+	Entities []*Entity
+}
+
+// EntityByName returns the named entity or nil (names are lower-cased).
+func (d *Design) EntityByName(name string) *Entity {
+	name = strings.ToLower(name)
+	for _, e := range d.Entities {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Entity is an entity declaration plus its (single) architecture body.
+type Entity struct {
+	Name     string
+	Generics []genericDecl
+	Ports    []portDecl
+	Signals  []signalDecl
+	Concs    []conc
+	Line     int
+}
+
+type genericDecl struct {
+	name string
+	def  expr
+}
+
+type portDecl struct {
+	name string
+	isIn bool
+	typ  typeRef
+	line int
+}
+
+type signalDecl struct {
+	name string
+	typ  typeRef
+	init expr
+	line int
+}
+
+type typeRef struct {
+	name string // std_logic, std_logic_vector, unsigned, signed, integer, boolean
+	msb  expr   // nil for scalar
+	line int
+}
+
+// conc is a concurrent statement.
+type conc interface{ conc() }
+
+type concAssign struct {
+	target lvalue
+	// arms: value when cond, ..., final else value (conds[i] guards vals[i];
+	// vals[len(conds)] is the unconditional tail).
+	vals  []expr
+	conds []expr
+	line  int
+}
+
+type process struct {
+	seq  bool // clocked by rising_edge
+	body []stmtNode
+	line int
+}
+
+type instance struct {
+	label    string
+	entity   string
+	generics map[string]expr
+	ports    map[string]expr
+	line     int
+}
+
+func (*concAssign) conc() {}
+func (*process) conc()    {}
+func (*instance) conc()   {}
+
+type stmtNode interface{ stmtNode() }
+
+type sigAssign struct {
+	target lvalue
+	rhs    expr
+	line   int
+}
+
+type ifNode struct {
+	cond expr
+	then []stmtNode
+	els  []stmtNode
+	line int
+}
+
+type caseNode struct {
+	subject expr
+	arms    []caseArm
+	line    int
+}
+
+type caseArm struct {
+	choices []expr // empty = others
+	body    []stmtNode
+}
+
+type nullNode struct{}
+
+func (*sigAssign) stmtNode() {}
+func (*ifNode) stmtNode()    {}
+func (*caseNode) stmtNode()  {}
+func (*nullNode) stmtNode()  {}
+
+type lvalue struct {
+	name     string
+	index    expr // single index (bit or memory-free; memories unsupported)
+	msb, lsb expr // slice (msb downto lsb)
+	line     int
+}
+
+type expr interface{ expr() }
+
+type numLit struct {
+	val  uint64
+	w    int // 0 = unsized
+	line int
+}
+type identRef struct {
+	name string
+	line int
+}
+type callExpr struct {
+	fn   string
+	args []expr
+	line int
+}
+type unaryE struct {
+	op   string
+	x    expr
+	line int
+}
+type binE struct {
+	op   string
+	x, y expr
+	line int
+}
+type selectE struct {
+	base     expr
+	index    expr
+	msb, lsb expr
+	line     int
+}
+type othersE struct {
+	bit  byte // '0' or '1'
+	line int
+}
+
+func (*numLit) expr()   {}
+func (*identRef) expr() {}
+func (*callExpr) expr() {}
+func (*unaryE) expr()   {}
+func (*binE) expr()     {}
+func (*selectE) expr()  {}
+func (*othersE) expr()  {}

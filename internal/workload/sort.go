@@ -1,0 +1,259 @@
+// Package workload provides the guest programs run on gem5rtl cores. The
+// centrepiece is the paper's PMU benchmark (§5.2.1): QuickSort,
+// SelectionSort and BubbleSort executed back to back with sleep calls in
+// between so the phases are separable in the PMU's interval counters.
+// QuickSort sorts 10x more elements than the other two, exactly as in the
+// paper ("taking a fraction of the time to sort 10x more elements").
+package workload
+
+import "fmt"
+
+// Array base addresses used by the sort benchmark.
+const (
+	QuickBase  = 0x400000
+	SelectBase = 0x500000
+	BubbleBase = 0x600000
+)
+
+// SortParams sizes the sort benchmark. The paper uses 3k/30k/60k-element
+// arrays on gem5; gem5rtl's default experiments scale these down (see
+// EXPERIMENTS.md) so full runs complete in seconds of host time while
+// preserving the phase structure.
+type SortParams struct {
+	// N is the SelectionSort/BubbleSort element count; QuickSort gets 10*N.
+	N int
+	// SleepUs is the inter-phase sleep (paper: 1000 us).
+	SleepUs int
+}
+
+// SortBenchmark returns the assembly source of the three-phase benchmark.
+func SortBenchmark(p SortParams) string {
+	return fmt.Sprintf(`
+; Three sorting kernels separated by sleeps (gem5+rtl PMU benchmark).
+main:
+    ; --- Phase 1: QuickSort over 10*N elements ---
+    li   a0, %[1]d
+    li   a1, %[3]d
+    li   a2, 12345
+    call init_array
+    li   a0, %[1]d
+    li   a1, 0
+    li   a2, %[4]d
+    call quicksort
+    li   a7, 1000
+    li   a0, %[6]d
+    ecall
+
+    ; --- Phase 2: SelectionSort over N elements ---
+    li   a0, %[2]d
+    li   a1, %[5]d
+    li   a2, 999
+    call init_array
+    li   a0, %[2]d
+    li   a1, %[5]d
+    call selectsort
+    li   a7, 1000
+    li   a0, %[6]d
+    ecall
+
+    ; --- Phase 3: BubbleSort over N elements ---
+    li   a0, %[7]d
+    li   a1, %[5]d
+    li   a2, 777
+    call init_array
+    li   a0, %[7]d
+    li   a1, %[5]d
+    call bubblesort
+    li   a7, 1000
+    li   a0, %[6]d
+    ecall
+
+    li   a7, 93
+    li   a0, 0
+    ecall
+`+sortLib,
+		QuickBase, SelectBase, 10*p.N, 10*p.N-1, p.N, p.SleepUs, BubbleBase)
+}
+
+// sortLib holds init_array and the three sort routines. Registers t0-t6 are
+// caller-clobbered; quicksort keeps live values in its stack frame.
+const sortLib = `
+; init_array(a0=base, a1=count, a2=seed): LCG-filled 64-bit elements.
+init_array:
+    mv   t0, a0
+    mv   t1, a1
+    mv   t2, a2
+    li   t3, 1103515245
+    li   t4, 0x7fffffff
+ia_loop:
+    beqz t1, ia_done
+    mul  t2, t2, t3
+    addi t2, t2, 12345
+    and  t5, t2, t4
+    sd   t5, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, -1
+    j    ia_loop
+ia_done:
+    ret
+
+; bubblesort(a0=base, a1=n)
+bubblesort:
+    addi t0, a1, -1        ; i = n-1
+bub_outer:
+    ble  t0, zero, bub_done
+    li   t1, 0             ; j
+    mv   t2, a0            ; ptr
+bub_inner:
+    bge  t1, t0, bub_nexti
+    ld   t3, 0(t2)
+    ld   t4, 8(t2)
+    ble  t3, t4, bub_noswap
+    sd   t4, 0(t2)
+    sd   t3, 8(t2)
+bub_noswap:
+    addi t1, t1, 1
+    addi t2, t2, 8
+    j    bub_inner
+bub_nexti:
+    addi t0, t0, -1
+    j    bub_outer
+bub_done:
+    ret
+
+; selectsort(a0=base, a1=n)
+selectsort:
+    li   t0, 0             ; i
+sel_outer:
+    addi t5, a1, -1
+    bge  t0, t5, sel_done
+    mv   t1, t0            ; minidx
+    addi t2, t0, 1         ; j
+sel_inner:
+    bge  t2, a1, sel_swap
+    slli t3, t2, 3
+    add  t3, a0, t3
+    ld   t3, 0(t3)
+    slli t4, t1, 3
+    add  t4, a0, t4
+    ld   t4, 0(t4)
+    bge  t3, t4, sel_noupd
+    mv   t1, t2
+sel_noupd:
+    addi t2, t2, 1
+    j    sel_inner
+sel_swap:
+    slli t3, t0, 3
+    add  t3, a0, t3
+    slli t4, t1, 3
+    add  t4, a0, t4
+    ld   t5, 0(t3)
+    ld   t6, 0(t4)
+    sd   t6, 0(t3)
+    sd   t5, 0(t4)
+    addi t0, t0, 1
+    j    sel_outer
+sel_done:
+    ret
+
+; quicksort(a0=base, a1=lo, a2=hi) — recursive, Lomuto partition.
+quicksort:
+    bge  a1, a2, qs_ret
+    addi sp, sp, -32
+    sd   ra, 0(sp)
+    sd   a1, 8(sp)
+    sd   a2, 16(sp)
+    ; pivot = a[hi]
+    slli t0, a2, 3
+    add  t0, a0, t0
+    ld   t1, 0(t0)
+    mv   t2, a1            ; i
+    mv   t3, a1            ; j
+qs_part:
+    bge  t3, a2, qs_partdone
+    slli t4, t3, 3
+    add  t4, a0, t4
+    ld   t5, 0(t4)
+    bge  t5, t1, qs_noswp
+    slli t6, t2, 3
+    add  t6, a0, t6
+    ld   s1, 0(t6)
+    sd   t5, 0(t6)
+    sd   s1, 0(t4)
+    addi t2, t2, 1
+qs_noswp:
+    addi t3, t3, 1
+    j    qs_part
+qs_partdone:
+    ; swap a[i] <-> a[hi]
+    slli t4, t2, 3
+    add  t4, a0, t4
+    ld   t5, 0(t4)
+    sd   t1, 0(t4)
+    sd   t5, 0(t0)
+    sd   t2, 24(sp)
+    ; quicksort(base, lo, p-1)
+    ld   a1, 8(sp)
+    addi a2, t2, -1
+    call quicksort
+    ; quicksort(base, p+1, hi)
+    ld   t2, 24(sp)
+    addi a1, t2, 1
+    ld   a2, 16(sp)
+    call quicksort
+    ld   ra, 0(sp)
+    addi sp, sp, 32
+qs_ret:
+    ret
+`
+
+// SimpleLoop returns a tiny ALU-only program: sum 0..n-1 into a0, then exit
+// with the sum as the code. Used by CPU unit tests.
+func SimpleLoop(n int) string {
+	return fmt.Sprintf(`
+main:
+    li   t0, 0       ; i
+    li   t1, %d      ; n
+    li   a0, 0       ; sum
+loop:
+    bge  t0, t1, done
+    add  a0, a0, t0
+    addi t0, t0, 1
+    j    loop
+done:
+    li   a7, 93
+    ecall
+`, n)
+}
+
+// MemoryStream returns a program that writes then reads back n 64-bit
+// elements at base, exiting with the checksum. Exercises the D-cache path.
+func MemoryStream(base uint64, n int) string {
+	return fmt.Sprintf(`
+main:
+    li   t0, %d      ; base
+    li   t1, %d      ; n
+    li   t2, 0       ; i
+wr:
+    bge  t2, t1, rd_setup
+    slli t3, t2, 3
+    add  t3, t0, t3
+    sd   t2, 0(t3)
+    addi t2, t2, 1
+    j    wr
+rd_setup:
+    li   t2, 0
+    li   a0, 0
+rd:
+    bge  t2, t1, done
+    slli t3, t2, 3
+    add  t3, t0, t3
+    ld   t4, 0(t3)
+    add  a0, a0, t4
+    addi t2, t2, 1
+    j    rd
+done:
+    li   a7, 93
+    ecall
+`, base, n)
+}
