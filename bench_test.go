@@ -10,7 +10,9 @@
 package gem5rtl
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"gem5rtl/internal/experiments"
@@ -106,6 +108,37 @@ func BenchmarkFigure7_Sanity3(b *testing.B) {
 				b.Run(name, func(b *testing.B) { dsePoint(b, "sanity3", n, mem, inflight) })
 			}
 		}
+	}
+}
+
+// BenchmarkSweep measures one fixed DSE sub-grid (12 points + 4 shared
+// ideal baselines) through the experiment runner, sequentially and with one
+// worker per host core. The workers=N/workers=1 ns/op ratio is the parallel
+// sweep speedup; results are tick-identical across worker counts (see
+// TestSweepParallelMatchesSequential).
+func BenchmarkSweep(b *testing.B) {
+	var specs []experiments.RunSpec
+	for _, inflight := range []int{1, 16, 64, 240} {
+		for _, mem := range []string{"DDR4-1ch", "DDR4-4ch", "HBM"} {
+			specs = append(specs, benchDSE.Spec("sanity3", 1, mem, inflight))
+		}
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.Runner{Workers: workers}.
+					Sweep(context.Background(), specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatalf("%v: %v", res.Spec, res.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(specs)), "points")
+		})
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,15 @@ func main() {
 	dlaScale := flag.Int("dla-scale", 8, "NVDLA trace footprint divisor")
 	scratchpad := flag.Bool("scratchpad", false, "hook NVDLA SRAMIF to an on-chip scratchpad (paper §4.2 extension)")
 	limitMs := flag.Int("limit-ms", 2000, "simulated time limit in milliseconds")
+	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the run (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := soc.DefaultConfig()
 	cfg.Cores = *cores
@@ -95,14 +104,19 @@ func main() {
 
 	limit := sim.Tick(*limitMs) * sim.Millisecond
 	if *nvdlas > 0 {
-		done, err := s.RunUntilNVDLAsDone(limit)
+		done, err := s.RunUntilNVDLAsDoneCtx(ctx, limit)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("# accelerators finished at %.3f ms simulated\n",
 			float64(done)/float64(sim.Millisecond))
 	} else {
+		stop := s.Queue.WatchContext(ctx, 0)
 		s.Queue.RunUntil(limit)
+		stop()
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("# simulated %.3f ms (%d events)\n",

@@ -2,13 +2,18 @@
 // (Figures 6 and 7): it sweeps the maximum in-flight request cap, the memory
 // technology, and the number of accelerator instances, printing performance
 // normalised to an ideal 1-cycle main memory in the same layout as the
-// paper's figures.
+// paper's figures. The sweep points are independent simulations and are
+// sharded across -parallel worker goroutines; the printed tables are
+// byte-identical for any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/sim"
@@ -17,18 +22,32 @@ import (
 func main() {
 	workload := flag.String("workload", "googlenet", "googlenet (Figure 6) or sanity3 (Figure 7)")
 	scale := flag.Int("scale", 8, "trace footprint divisor (1 = full synthetic layers)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the sweep (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the whole sweep (0 = none)")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Parse()
 
-	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
-	var report func(string)
-	if *verbose {
-		report = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	points, err := experiments.RunDSEFigure(*workload, p, report)
+
+	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
+	r := experiments.Runner{Workers: *parallel}
+	if *verbose {
+		r.Report = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	start := time.Now()
+	points, err := r.DSEFigure(ctx, *workload, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
 		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "# %d points in %s host time (%d workers)\n",
+			len(points), time.Since(start).Round(time.Millisecond), *parallel)
 	}
 
 	fig := "Figure 6"

@@ -2,9 +2,14 @@
 // (gem5 vs gem5+PMU vs gem5+PMU+waveform on the sort benchmark) and Table 3
 // (standalone RTL-model execution vs full-system with perfect memory vs
 // full-system with DDR4-4ch on the NVDLA workloads).
+//
+// -parallel defaults to 1 because the tables report host wall-clock times:
+// concurrent workers share host cores and inflate each other's measurements.
+// Raise it only for a quick shape check.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,11 +21,21 @@ import (
 func main() {
 	table := flag.Int("table", 3, "which table to reproduce: 2 or 3")
 	scale := flag.Int("scale", 8, "NVDLA trace footprint divisor (table 3)")
+	parallel := flag.Int("parallel", 1, "worker goroutines (keep 1 for faithful host times)")
+	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the study (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	r := experiments.Runner{Workers: *parallel}
 
 	switch *table {
 	case 2:
-		cells, err := experiments.RunTable2(experiments.DefaultTable2Sizes(), 100)
+		cells, err := r.Table2(ctx, experiments.DefaultTable2Sizes(), 100)
 		if err != nil {
 			fatal(err)
 		}
@@ -31,7 +46,7 @@ func main() {
 				c.HostTime.Round(1e6), c.Overhead)
 		}
 	case 3:
-		rows, err := experiments.RunTable3(experiments.DSEParams{
+		rows, err := r.Table3(ctx, experiments.DSEParams{
 			Scale: *scale, Limit: 8 * sim.Second})
 		if err != nil {
 			fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,15 +18,24 @@ func main() {
 	sleepUs := flag.Int("sleep-us", 100, "inter-phase sleep in microseconds")
 	interval := flag.Int("interval", 10000, "PMU interrupt period in PMU cycles")
 	table2 := flag.Bool("table2", false, "run the Table 2 overhead study instead of Figure 5")
+	parallel := flag.Int("parallel", 1, "worker goroutines for -table2 (keep 1 for faithful host times)")
+	timeout := flag.Duration("timeout", 0, "host wall-clock budget (0 = none)")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *table2 {
-		runTable2(*sleepUs)
+		runTable2(ctx, *sleepUs, *parallel)
 		return
 	}
 
 	p := experiments.Fig5Params{N: *n, SleepUs: *sleepUs, IntervalCycles: *interval}
-	res, err := experiments.RunFigure5(p)
+	res, err := experiments.RunFigure5Ctx(ctx, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmurun:", err)
 		os.Exit(1)
@@ -42,9 +52,9 @@ func main() {
 	fmt.Printf("# simulated %v ticks in %v host time\n", res.SimTicks, res.HostTime)
 }
 
-func runTable2(sleepUs int) {
+func runTable2(ctx context.Context, sleepUs, parallel int) {
 	sizes := experiments.DefaultTable2Sizes()
-	cells, err := experiments.RunTable2(sizes, sleepUs)
+	cells, err := experiments.Runner{Workers: parallel}.Table2(ctx, sizes, sleepUs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmurun:", err)
 		os.Exit(1)

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"gem5rtl/internal/sim"
-	"gem5rtl/internal/soc"
 	"gem5rtl/internal/trace"
 )
 
@@ -49,73 +49,59 @@ func buildTrace(workload string, base uint64, scale int) (*trace.Trace, error) {
 	return trace.Scaled(workload, base, scale)
 }
 
-// RunDSEPoint measures one configuration: n accelerator instances, each
-// running its own copy of the workload trace (the paper's setup), on the
-// named memory technology with the given in-flight cap.
+// RunDSEPoint measures one configuration.
+//
+// Deprecated: use RunPoint with a RunSpec (context first).
 func RunDSEPoint(workload string, nDLA int, memory string, inflight int, p DSEParams) (sim.Tick, error) {
-	cfg := soc.DefaultConfig()
-	cfg.Cores = 1 // host cores idle during accelerator runs; keep one for realism
-	cfg.Memory = memory
-	cfg.NVDLAs = nDLA
-	cfg.NVDLAMaxInflight = inflight
-	s, err := soc.Build(cfg)
-	if err != nil {
-		return 0, err
-	}
-	for i := 0; i < nDLA; i++ {
-		s.NVDLAs[i].Start()
-		tr, err := buildTrace(workload, uint64(i+1)<<32, p.Scale)
-		if err != nil {
-			return 0, err
-		}
-		s.PlayTrace(i, tr)
-	}
-	done, err := s.RunUntilNVDLAsDone(p.Limit)
-	if err != nil {
-		return 0, err
-	}
-	return done, nil
+	return RunPoint(context.Background(), p.Spec(workload, nDLA, memory, inflight))
 }
 
-// RunDSEFigure reproduces Figure 6 (workload "googlenet") or Figure 7
-// (workload "sanity3"): the full sweep over accelerator counts, memory
-// technologies and in-flight caps, normalised per (count, inflight) to the
-// ideal-memory run. Progress lines go through report (may be nil).
-func RunDSEFigure(workload string, p DSEParams, report func(string)) ([]DSEPoint, error) {
-	say := func(format string, args ...any) {
-		if report != nil {
-			report(fmt.Sprintf(format, args...))
-		}
-	}
-	var points []DSEPoint
+// DSESpecs builds the full Figure 6/7 grid for workload in output order:
+// for each accelerator count and in-flight cap, the ideal baseline followed
+// by each memory technology.
+func DSESpecs(workload string, p DSEParams) []RunSpec {
+	var specs []RunSpec
 	for _, n := range NVDLACounts {
 		for _, inflight := range InflightSweep {
-			idealT, err := RunDSEPoint(workload, n, "ideal", inflight, p)
-			if err != nil {
-				return nil, fmt.Errorf("ideal baseline (n=%d if=%d): %w", n, inflight, err)
-			}
-			points = append(points, DSEPoint{
-				Workload: workload, NVDLAs: n, Memory: "ideal",
-				Inflight: inflight, Ticks: idealT, Perf: 1,
-			})
+			specs = append(specs, p.Spec(workload, n, "ideal", inflight))
 			for _, tech := range memTechs() {
-				start := time.Now()
-				t, err := RunDSEPoint(workload, n, tech, inflight, p)
-				if err != nil {
-					return nil, fmt.Errorf("%s n=%d if=%d: %w", tech, n, inflight, err)
-				}
-				points = append(points, DSEPoint{
-					Workload: workload, NVDLAs: n, Memory: tech,
-					Inflight: inflight, Ticks: t,
-					Perf: float64(idealT) / float64(t),
-				})
-				say("%s n=%d inflight=%3d %-9s perf=%.3f (%s host)",
-					workload, n, inflight, tech, float64(idealT)/float64(t),
-					time.Since(start).Round(time.Millisecond))
+				specs = append(specs, p.Spec(workload, n, tech, inflight))
 			}
 		}
 	}
+	return specs
+}
+
+// DSEFigure reproduces Figure 6 (workload "googlenet") or Figure 7
+// (workload "sanity3"): the full sweep over accelerator counts, memory
+// technologies and in-flight caps, normalised per (count, inflight) to the
+// ideal-memory run. Points come back in grid order regardless of the
+// runner's worker count, and each ideal baseline is simulated exactly once
+// and shared by the five technology points it normalises.
+func (r Runner) DSEFigure(ctx context.Context, workload string, p DSEParams) ([]DSEPoint, error) {
+	results, err := r.Sweep(ctx, DSESpecs(workload, p))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]DSEPoint, 0, len(results))
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("%v: %w", res.Spec, res.Err)
+		}
+		points = append(points, DSEPoint{
+			Workload: res.Spec.Workload, NVDLAs: res.Spec.NVDLAs,
+			Memory: res.Spec.Memory, Inflight: res.Spec.Inflight,
+			Ticks: res.Ticks, Perf: res.Perf,
+		})
+	}
 	return points, nil
+}
+
+// RunDSEFigure is the sequential figure sweep.
+//
+// Deprecated: use Runner.DSEFigure (context first, parallelisable).
+func RunDSEFigure(workload string, p DSEParams, report func(string)) ([]DSEPoint, error) {
+	return Runner{Workers: 1, Report: report}.DSEFigure(context.Background(), workload, p)
 }
 
 func memTechs() []string {
@@ -131,49 +117,64 @@ type Table3Row struct {
 	Overhead float64
 }
 
-// RunTable3 reproduces Table 3: host wall-clock of (a) the standalone
+// Table3 reproduces Table 3: host wall-clock of (a) the standalone
 // accelerator model with an ideal zero-latency memory loop (the paper's
 // standalone Verilator run with NVIDIA's nvdla.cpp wrapper), (b) the
 // full-system simulation with perfect memory, and (c) with DDR4-4ch —
-// each running sanity3 and googlenet once.
-func RunTable3(p DSEParams) ([]Table3Row, error) {
+// each running sanity3 and googlenet once. Because the rows are host-time
+// measurements, run with Workers = 1 when the absolute overheads matter;
+// concurrent workers share host cores and inflate each other's times.
+func (r Runner) Table3(ctx context.Context, p DSEParams) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, wl := range []string{"sanity3", "googlenet"} {
-		standalone, err := runStandalone(wl, p)
+		standalone, err := runStandalone(ctx, wl, p)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, Table3Row{Config: "standalone-rtl", Workload: wl,
 			HostTime: standalone, Overhead: 1.0})
-		for _, memName := range []string{"ideal", "DDR4-4ch"} {
-			start := time.Now()
-			if _, err := RunDSEPoint(wl, 1, memName, 240, p); err != nil {
-				return nil, err
+		results, err := r.Sweep(ctx, []RunSpec{
+			p.Spec(wl, 1, "ideal", 240),
+			p.Spec(wl, 1, "DDR4-4ch", 240),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				return nil, fmt.Errorf("%v: %w", res.Spec, res.Err)
 			}
-			elapsed := time.Since(start)
 			name := "gem5+NVDLA+perfect-memory"
-			if memName != "ideal" {
+			if !res.Spec.isIdeal() {
 				name = "gem5+NVDLA+DDR4"
 			}
 			rows = append(rows, Table3Row{Config: name, Workload: wl,
-				HostTime: elapsed, Overhead: float64(elapsed) / float64(standalone)})
+				HostTime: res.HostTime,
+				Overhead: float64(res.HostTime) / float64(standalone)})
 		}
 	}
 	return rows, nil
 }
 
+// RunTable3 is the sequential Table 3 study.
+//
+// Deprecated: use Runner.Table3 (context first).
+func RunTable3(p DSEParams) ([]Table3Row, error) {
+	return Runner{Workers: 1}.Table3(context.Background(), p)
+}
+
 // RunStandaloneOnce is the exported single-run entry for benchmarks.
 func RunStandaloneOnce(workload string, p DSEParams) (time.Duration, error) {
-	return runStandalone(workload, p)
+	return runStandalone(context.Background(), workload, p)
 }
 
 // runStandalone ticks the accelerator wrapper directly against a
 // zero-latency memory, like running the Verilated model with its bundled
 // testbench wrapper: no SoC, no trace-into-memory load phase.
-func runStandalone(workload string, p DSEParams) (time.Duration, error) {
+func runStandalone(ctx context.Context, workload string, p DSEParams) (time.Duration, error) {
 	tr, err := trace.Scaled(workload, 0, p.Scale)
 	if err != nil {
 		return 0, err
 	}
-	return trace.RunStandalone(tr), nil
+	return trace.RunStandaloneCtx(ctx, tr)
 }

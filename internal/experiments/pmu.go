@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -121,11 +122,22 @@ type Fig5Result struct {
 	SimTicks       sim.Tick
 }
 
-// RunFigure5 reproduces Figure 5: the sort benchmark runs on core 0 with
+// RunFigure5 reproduces Figure 5 without cancellation.
+//
+// Deprecated: use RunFigure5Ctx.
+func RunFigure5(p Fig5Params) (*Fig5Result, error) {
+	return RunFigure5Ctx(context.Background(), p)
+}
+
+// RunFigure5Ctx reproduces Figure 5: the sort benchmark runs on core 0 with
 // the PMU RTL model attached; every threshold interrupt the harness reads
 // the PMU counters over AXI and snapshots gem5-side statistics over the
-// same window, yielding paired IPC/MPKI series.
-func RunFigure5(p Fig5Params) (*Fig5Result, error) {
+// same window, yielding paired IPC/MPKI series. Cancelling ctx aborts the
+// simulation promptly and returns ctx.Err().
+func RunFigure5Ctx(ctx context.Context, p Fig5Params) (*Fig5Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := soc.DefaultConfig()
 	cfg.Cores = 1
 	cfg.WithPMU = true
@@ -166,8 +178,13 @@ func RunFigure5(p Fig5Params) (*Fig5Result, error) {
 	})
 	s.StartCores(0)
 
+	stop := s.Queue.WatchContext(ctx, 0)
+	defer stop()
 	for !finished {
 		s.Queue.RunUntil(sim.MaxTick)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.Queue.ClearExit()
 		if !irqPending {
 			if finished {
@@ -246,30 +263,58 @@ type Table2Cell struct {
 	Overhead float64
 }
 
-// RunTable2 reproduces Table 2: host wall-clock of the sorting benchmark
+// Table2 reproduces Table 2: host wall-clock of the sorting benchmark
 // with and without the PMU RTL model and waveform tracing, over several
 // array sizes, normalised to the PMU-less run. The paper's sizes (3k/30k/
-// 60k) are scaled by the sizes argument (default DefaultTable2Sizes).
-func RunTable2(sizes []int, sleepUs int) ([]Table2Cell, error) {
-	var cells []Table2Cell
-	base := map[int]time.Duration{}
+// 60k) are scaled by the sizes argument (default DefaultTable2Sizes). The
+// (config, size) cells are independent simulations and run on the runner's
+// worker pool; because each cell is a host-time measurement, use Workers =
+// 1 when the absolute overheads matter — concurrent workers share host
+// cores and inflate each other's times.
+func (r Runner) Table2(ctx context.Context, sizes []int, sleepUs int) ([]Table2Cell, error) {
+	type job struct {
+		cfg Table2Config
+		n   int
+	}
+	var jobs []job
 	for _, cfgRow := range Table2Configs() {
 		for _, n := range sizes {
-			elapsed, err := runSortOnce(n, sleepUs, cfgRow.PMU, cfgRow.Waveform)
-			if err != nil {
-				return nil, err
-			}
-			cell := Table2Cell{Config: cfgRow.Name, Size: n, HostTime: elapsed}
-			if !cfgRow.PMU {
-				base[n] = elapsed
-			}
-			if b, ok := base[n]; ok && b > 0 {
-				cell.Overhead = float64(elapsed) / float64(b)
-			}
-			cells = append(cells, cell)
+			jobs = append(jobs, job{cfgRow, n})
+		}
+	}
+	cells := make([]Table2Cell, len(jobs))
+	err := r.ForEach(ctx, len(jobs), func(ctx context.Context, i int) error {
+		elapsed, err := runSortOnce(ctx, jobs[i].n, sleepUs, jobs[i].cfg.PMU, jobs[i].cfg.Waveform)
+		if err != nil {
+			return err
+		}
+		cells[i] = Table2Cell{Config: jobs[i].cfg.Name, Size: jobs[i].n, HostTime: elapsed}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalise each size to its plain-gem5 cell (always present: the gem5
+	// configuration is first in Table2Configs).
+	base := map[int]time.Duration{}
+	for i, j := range jobs {
+		if !j.cfg.PMU {
+			base[j.n] = cells[i].HostTime
+		}
+	}
+	for i := range cells {
+		if b := base[cells[i].Size]; b > 0 {
+			cells[i].Overhead = float64(cells[i].HostTime) / float64(b)
 		}
 	}
 	return cells, nil
+}
+
+// RunTable2 is the sequential Table 2 study.
+//
+// Deprecated: use Runner.Table2 (context first).
+func RunTable2(sizes []int, sleepUs int) ([]Table2Cell, error) {
+	return Runner{Workers: 1}.Table2(context.Background(), sizes, sleepUs)
 }
 
 // DefaultTable2Sizes scales the paper's 3k/30k/60k (1:10:20) down to
@@ -279,10 +324,13 @@ func DefaultTable2Sizes() []int { return []int{60, 600, 1200} }
 // RunTable2Config runs a single Table 2 configuration at one size,
 // returning the host time (benchmark entry point).
 func RunTable2Config(cfg Table2Config, n, sleepUs int) (time.Duration, error) {
-	return runSortOnce(n, sleepUs, cfg.PMU, cfg.Waveform)
+	return runSortOnce(context.Background(), n, sleepUs, cfg.PMU, cfg.Waveform)
 }
 
-func runSortOnce(n, sleepUs int, withPMU, waveform bool) (time.Duration, error) {
+func runSortOnce(ctx context.Context, n, sleepUs int, withPMU, waveform bool) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	cfg := soc.DefaultConfig()
 	cfg.Cores = 1
 	cfg.WithPMU = withPMU
@@ -311,7 +359,12 @@ func runSortOnce(n, sleepUs int, withPMU, waveform bool) (time.Duration, error) 
 	done := false
 	s.Cores[0].OnExit = func(int64) { done = true; s.Queue.ExitSimLoop("exit") }
 	s.StartCores(0)
+	watchStop := s.Queue.WatchContext(ctx, 0)
+	defer watchStop()
 	s.Queue.RunUntil(sim.MaxTick)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if !done {
 		return 0, fmt.Errorf("experiments: sort benchmark (n=%d) did not finish", n)
 	}

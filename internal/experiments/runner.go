@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/soc"
+)
+
+// RunSpec fully identifies one independent simulation point of the design
+// space: which workload runs on how many accelerators, against which memory
+// technology, under which in-flight cap, at which trace scale and simulated
+// time limit. Specs are comparable, so they double as cache keys for the
+// ideal-memory baselines that normalise the figures.
+type RunSpec struct {
+	Workload string
+	NVDLAs   int
+	Memory   string // "ideal" is the normalisation baseline
+	Inflight int
+	// Scale divides the trace footprints (see DSEParams.Scale).
+	Scale int
+	// Limit bounds one run's simulated time.
+	Limit sim.Tick
+}
+
+// String renders the spec for progress lines and error messages.
+func (s RunSpec) String() string {
+	return fmt.Sprintf("%s n=%d %s inflight=%d scale=%d", s.Workload, s.NVDLAs, s.Memory, s.Inflight, s.Scale)
+}
+
+// baseline returns the ideal-memory spec this spec is normalised against.
+func (s RunSpec) baseline() RunSpec {
+	s.Memory = "ideal"
+	return s
+}
+
+// isIdeal reports whether the spec is itself a normalisation baseline.
+func (s RunSpec) isIdeal() bool { return s.Memory == "" || s.Memory == "ideal" }
+
+// Spec converts a DSEParams-era positional call into a RunSpec.
+func (p DSEParams) Spec(workload string, nDLA int, memory string, inflight int) RunSpec {
+	return RunSpec{Workload: workload, NVDLAs: nDLA, Memory: memory,
+		Inflight: inflight, Scale: p.Scale, Limit: p.Limit}
+}
+
+// Result is the outcome of one RunSpec.
+type Result struct {
+	Spec RunSpec
+	// Ticks is the completion time of the slowest accelerator.
+	Ticks sim.Tick
+	// Perf is Ticks(ideal baseline) / Ticks — the figures' "performance
+	// normalised to ideal memory". 1 for ideal points, 0 when Err is set.
+	Perf float64
+	// HostTime is the wall-clock cost of this point's own simulation
+	// (baseline lookups for normalisation are excluded).
+	HostTime time.Duration
+	// Err records a per-point failure: a build/trace error, ctx.Err() on
+	// cancellation, or a recovered panic from a diverging simulation. The
+	// rest of the sweep is unaffected.
+	Err error
+}
+
+// RunPoint executes one simulation point: n accelerator instances, each
+// running its own copy of the workload trace (the paper's setup), on the
+// named memory technology with the given in-flight cap. Cancelling ctx
+// aborts the event loop promptly (a periodic check event watches the
+// context) and returns ctx.Err().
+func RunPoint(ctx context.Context, spec RunSpec) (sim.Tick, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	cfg := soc.DefaultConfig()
+	cfg.Cores = 1 // host cores idle during accelerator runs; keep one for realism
+	cfg.Memory = spec.Memory
+	cfg.NVDLAs = spec.NVDLAs
+	cfg.NVDLAMaxInflight = spec.Inflight
+	s, err := soc.Build(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < spec.NVDLAs; i++ {
+		s.NVDLAs[i].Start()
+		tr, err := buildTrace(spec.Workload, uint64(i+1)<<32, spec.Scale)
+		if err != nil {
+			return 0, err
+		}
+		s.PlayTrace(i, tr)
+	}
+	return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+}
+
+// Runner executes sweeps of independent simulation points on a worker pool.
+// The zero value is a valid sequential runner (Workers <= 0 selects
+// runtime.NumCPU(); set Workers to 1 for strictly sequential execution and
+// faithful per-point host times).
+type Runner struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// Report receives per-point progress lines (may be nil). It is called
+	// from worker goroutines and must be safe for concurrent use.
+	Report func(string)
+	// Run overrides the per-point executor; nil means RunPoint. Tests use
+	// this to inject failures and count baseline executions.
+	Run func(ctx context.Context, spec RunSpec) (sim.Tick, error)
+}
+
+// poolSize resolves the effective worker count for n queued items.
+func (r Runner) poolSize(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sweep runs every spec and returns one Result per spec, in input order
+// regardless of completion order. Individual failures (including recovered
+// panics from diverging simulations) are reported in Result.Err without
+// aborting the sweep; the returned error is non-nil only when ctx ends
+// before the sweep completes, in which case it is ctx.Err() and unstarted
+// points carry it in their Result.Err.
+//
+// Ideal-memory baselines are deduplicated through a keyed cache: each
+// distinct (workload, count, inflight, scale, limit) ideal run is simulated
+// once per Sweep and shared by the ideal point itself and every technology
+// point normalised against it.
+func (r Runner) Sweep(ctx context.Context, specs []RunSpec) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := r.Run
+	if run == nil {
+		run = RunPoint
+	}
+	results := make([]Result, len(specs))
+	cache := &baselineCache{run: run, entries: map[RunSpec]*baselineEntry{}}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.poolSize(len(specs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.runOne(ctx, specs[i], cache)
+			}
+		}()
+	}
+	var unfed []int
+	for i := range specs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			unfed = append(unfed, i)
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for _, i := range unfed {
+			results[i] = Result{Spec: specs[i], Err: err}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runOne executes a single point with panic recovery and normalisation.
+func (r Runner) runOne(ctx context.Context, spec RunSpec, cache *baselineCache) (res Result) {
+	res.Spec = spec
+	defer func() {
+		if p := recover(); p != nil {
+			res.Ticks, res.Perf = 0, 0
+			res.Err = fmt.Errorf("experiments: %v panicked: %v", spec, p)
+		}
+		r.say(&res)
+	}()
+	if spec.isIdeal() {
+		res.Ticks, res.HostTime, res.Err = cache.get(ctx, spec.baseline())
+		if res.Err == nil {
+			res.Perf = 1
+		}
+		return res
+	}
+	start := time.Now()
+	t, err := cache.run(ctx, spec)
+	res.HostTime = time.Since(start)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Ticks = t
+	ideal, _, err := cache.get(ctx, spec.baseline())
+	if err != nil {
+		res.Err = fmt.Errorf("ideal baseline for %v: %w", spec, err)
+		return res
+	}
+	res.Perf = float64(ideal) / float64(t)
+	return res
+}
+
+// say emits one progress line for a finished point.
+func (r Runner) say(res *Result) {
+	if r.Report == nil {
+		return
+	}
+	if res.Err != nil {
+		r.Report(fmt.Sprintf("%s n=%d inflight=%3d %-9s ERROR: %v",
+			res.Spec.Workload, res.Spec.NVDLAs, res.Spec.Inflight, res.Spec.Memory, res.Err))
+		return
+	}
+	r.Report(fmt.Sprintf("%s n=%d inflight=%3d %-9s perf=%.3f (%s host)",
+		res.Spec.Workload, res.Spec.NVDLAs, res.Spec.Inflight, res.Spec.Memory,
+		res.Perf, res.HostTime.Round(time.Millisecond)))
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on the worker pool, with
+// the same per-item panic recovery as Sweep. It is the generic counterpart
+// to Sweep for experiment loops whose points are not RunSpec simulations
+// (e.g. the PMU sort-benchmark overhead matrix). It returns the first error
+// in index order (including ctx.Err() for items skipped after
+// cancellation); fn stores its own results by index.
+func (r Runner) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	runItem := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("experiments: item %d panicked: %v", i, p)
+			}
+		}()
+		return fn(ctx, i)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.poolSize(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = runItem(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baselineCache deduplicates ideal-memory baseline runs within one sweep:
+// the first getter of a key simulates it (with panic recovery, so a
+// diverging baseline surfaces as an error on every dependent point rather
+// than a crash); concurrent getters block until the result is ready.
+type baselineCache struct {
+	run     func(ctx context.Context, spec RunSpec) (sim.Tick, error)
+	mu      sync.Mutex
+	entries map[RunSpec]*baselineEntry
+}
+
+type baselineEntry struct {
+	once     sync.Once
+	ticks    sim.Tick
+	hostTime time.Duration
+	err      error
+}
+
+func (c *baselineCache) get(ctx context.Context, spec RunSpec) (sim.Tick, time.Duration, error) {
+	c.mu.Lock()
+	e := c.entries[spec]
+	if e == nil {
+		e = &baselineEntry{}
+		c.entries[spec] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.err = fmt.Errorf("experiments: %v panicked: %v", spec, p)
+			}
+		}()
+		start := time.Now()
+		e.ticks, e.err = c.run(ctx, spec)
+		e.hostTime = time.Since(start)
+	})
+	return e.ticks, e.hostTime, e.err
+}

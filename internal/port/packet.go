@@ -13,7 +13,11 @@
 //     program images and NVDLA traces into memory.
 package port
 
-import "gem5rtl/internal/sim"
+import (
+	"sync/atomic"
+
+	"gem5rtl/internal/sim"
+)
 
 // Cmd enumerates packet commands, a condensed version of gem5's MemCmd.
 type Cmd int
@@ -82,12 +86,17 @@ type Packet struct {
 	senderState []any
 }
 
-var packetID uint64
+// packetID is process-global and atomic: concurrent simulations (the
+// parallel sweep runner drives one event queue per goroutine) allocate from
+// the same counter without racing. IDs are used only for identity — matching
+// responses to requests and tracing — never for ordering or timing
+// decisions, so the interleaving-dependent values cannot perturb simulated
+// behaviour.
+var packetID atomic.Uint64
 
 // NewPacket allocates a packet with a fresh ID.
 func NewPacket(cmd Cmd, addr uint64, size int) *Packet {
-	packetID++
-	return &Packet{ID: packetID, Cmd: cmd, Addr: addr, Size: size}
+	return &Packet{ID: packetID.Add(1), Cmd: cmd, Addr: addr, Size: size}
 }
 
 // NewWritePacket allocates a write carrying data (the slice is not copied).

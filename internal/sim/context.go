@@ -1,0 +1,46 @@
+package sim
+
+import "context"
+
+// ExitReasonContext is the exit reason set when a watched context ends.
+const ExitReasonContext = "context done"
+
+// DefaultCtxCheckInterval is the simulated-time spacing of context checks
+// installed by WatchContext when callers pass 0. 100 us of simulated time
+// keeps the host-side cancellation latency well under a second even at
+// heavy simulation slowdowns while adding a negligible number of events.
+const DefaultCtxCheckInterval = 100 * Microsecond
+
+// WatchContext installs a periodic check event that ends the simulation
+// loop (via ExitSimLoop with ExitReasonContext) once ctx is cancelled or
+// its deadline passes. This is how host-side cancellation and -timeout
+// flags reach into the deterministic event loop: the check event observes
+// the context but never touches simulated state, so a run that is not
+// cancelled dispatches the exact same component events in the exact same
+// order as a run without a watcher.
+//
+// interval is the simulated time between checks (0 selects
+// DefaultCtxCheckInterval). The returned stop function removes the watcher;
+// callers must invoke it before reusing the queue for a fresh run.
+func (q *EventQueue) WatchContext(ctx context.Context, interval Tick) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	if interval == 0 {
+		interval = DefaultCtxCheckInterval
+	}
+	e := NewEventPri("ctx-watch", PriSimExit, nil)
+	e.fn = func() {
+		if ctx.Err() != nil {
+			q.ExitSimLoop(ExitReasonContext)
+			return
+		}
+		q.Schedule(e, q.now+interval)
+	}
+	q.Schedule(e, q.now+interval)
+	return func() {
+		if e.Scheduled() {
+			q.Deschedule(e)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// perpetualChain schedules a self-rescheduling event so the queue never
+// drains on its own.
+func perpetualChain(q *EventQueue, every Tick) {
+	var e *Event
+	e = NewEvent("chain", func() { q.Schedule(e, q.Now()+every) })
+	q.Schedule(e, every)
+}
+
+func TestWatchContextCancelExitsLoop(t *testing.T) {
+	q := NewEventQueue()
+	perpetualChain(q, Nanosecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := q.WatchContext(ctx, Microsecond)
+	defer stop()
+	cancel()
+	q.RunUntil(MaxTick)
+	if q.ExitReason() != ExitReasonContext {
+		t.Fatalf("exit reason %q, want %q", q.ExitReason(), ExitReasonContext)
+	}
+	// The first check fires one interval in; the loop must not run beyond
+	// the following check.
+	if q.Now() > 2*Microsecond {
+		t.Fatalf("ran to tick %d after cancellation", q.Now())
+	}
+}
+
+func TestWatchContextUncancelledIsInvisible(t *testing.T) {
+	run := func(watch bool) Tick {
+		q := NewEventQueue()
+		perpetualChain(q, Nanosecond)
+		if watch {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			stop := q.WatchContext(ctx, Microsecond)
+			defer stop()
+		}
+		q.RunUntil(10 * Microsecond)
+		return q.Now()
+	}
+	plainNow := run(false)
+	watchNow := run(true)
+	if plainNow != watchNow {
+		t.Fatalf("watcher changed final tick: %d vs %d", plainNow, watchNow)
+	}
+}
+
+func TestWatchContextStopRemovesEvent(t *testing.T) {
+	q := NewEventQueue()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := q.WatchContext(ctx, Microsecond)
+	if q.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Pending())
+	}
+	stop()
+	if q.Pending() != 0 {
+		t.Fatalf("pending = %d after stop, want 0", q.Pending())
+	}
+	// Contexts that can never be cancelled install nothing.
+	if s := q.WatchContext(context.Background(), 0); s == nil {
+		t.Fatal("nil stop func for background context")
+	} else {
+		s()
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("background context installed an event: pending = %d", q.Pending())
+	}
+}

@@ -7,6 +7,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -346,6 +347,18 @@ func (s *System) PlayTrace(idx int, t *trace.Trace) {
 // instance raises its completion interrupt (or the limit passes). It
 // returns the completion time.
 func (s *System) RunUntilNVDLAsDone(limit sim.Tick) (sim.Tick, error) {
+	return s.RunUntilNVDLAsDoneCtx(context.Background(), limit)
+}
+
+// RunUntilNVDLAsDoneCtx is RunUntilNVDLAsDone with host-side cancellation:
+// a periodic check event (see sim.WatchContext) ends the simulation loop
+// and returns ctx.Err() once ctx is cancelled or its deadline passes. The
+// watcher only observes the context, so an uncancelled run completes at
+// tick-identical times to RunUntilNVDLAsDone.
+func (s *System) RunUntilNVDLAsDoneCtx(ctx context.Context, limit sim.Tick) (sim.Tick, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	remaining := 0
 	for _, w := range s.NVDLAWrappers {
 		if !w.Done() {
@@ -366,7 +379,12 @@ func (s *System) RunUntilNVDLAsDone(limit sim.Tick) (sim.Tick, error) {
 			}
 		})
 	}
+	stop := s.Queue.WatchContext(ctx, 0)
+	defer stop()
 	s.Queue.RunUntil(limit)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if remaining > 0 {
 		return 0, fmt.Errorf("soc: %d accelerators still running at tick %d", remaining, s.Queue.Now())
 	}

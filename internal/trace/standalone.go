@@ -1,19 +1,26 @@
 package trace
 
 import (
+	"context"
 	"time"
 
 	"gem5rtl/internal/nvdla"
 	"gem5rtl/internal/rtlobject"
 )
 
-// RunStandalone executes a trace against a bare accelerator wrapper with a
-// zero-latency memory loop — the equivalent of the paper's standalone
+// standaloneCtxCheckEvery bounds how many accelerator cycles run between
+// context checks in the standalone tick loop. Checking every 4096 cycles
+// keeps cancellation latency in the microsecond range at a negligible cost.
+const standaloneCtxCheckEvery = 4096
+
+// RunStandaloneCtx executes a trace against a bare accelerator wrapper with
+// a zero-latency memory loop — the equivalent of the paper's standalone
 // Verilator simulation using NVIDIA's bundled nvdla.cpp testbench, which
 // "reads the trace directly" with no SoC, no trace-into-memory load phase
 // and no timing model around it. It returns the host wall-clock time, the
-// Table 3 normalisation baseline.
-func RunStandalone(t *Trace) time.Duration {
+// Table 3 normalisation baseline. Cancelling ctx aborts the tick loop and
+// returns ctx.Err().
+func RunStandaloneCtx(ctx context.Context, t *Trace) (time.Duration, error) {
 	dla := nvdla.New(nvdla.DefaultConfig("standalone"))
 	start := time.Now()
 	for _, op := range t.Ops {
@@ -28,7 +35,12 @@ func RunStandalone(t *Trace) time.Duration {
 		}
 	}
 	in := &rtlobject.Input{}
-	for !dla.Done() {
+	for cycle := 0; !dla.Done(); cycle++ {
+		if cycle%standaloneCtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return time.Since(start), err
+			}
+		}
 		out := dla.Tick(in)
 		in = &rtlobject.Input{}
 		for _, req := range out.MemRequests {
@@ -39,5 +51,13 @@ func RunStandalone(t *Trace) time.Duration {
 			in.MemResponses = append(in.MemResponses, resp)
 		}
 	}
-	return time.Since(start)
+	return time.Since(start), nil
+}
+
+// RunStandalone is RunStandaloneCtx without cancellation.
+//
+// Deprecated: use RunStandaloneCtx.
+func RunStandalone(t *Trace) time.Duration {
+	d, _ := RunStandaloneCtx(context.Background(), t)
+	return d
 }
