@@ -115,7 +115,11 @@ func BenchmarkFigure7_Sanity3(b *testing.B) {
 // ideal baselines) through the experiment runner, sequentially and with one
 // worker per host core. The workers=N/workers=1 ns/op ratio is the parallel
 // sweep speedup; results are tick-identical across worker counts (see
-// TestSweepParallelMatchesSequential).
+// TestSweepParallelMatchesSequential). The warm-start variant re-runs the
+// same grid against a populated checkpoint cache, so every point restores a
+// post-warm-up snapshot instead of re-simulating the prefix from tick 0; its
+// ns/op against workers=1 is the warm-start speedup, and the results stay
+// tick-identical (TestWarmStartMatchesCold).
 func BenchmarkSweep(b *testing.B) {
 	var specs []experiments.RunSpec
 	for _, inflight := range []int{1, 16, 64, 240} {
@@ -123,23 +127,37 @@ func BenchmarkSweep(b *testing.B) {
 			specs = append(specs, benchDSE.Spec("sanity3", 1, mem, inflight))
 		}
 	}
-	for _, workers := range []int{1, runtime.NumCPU()} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				results, err := experiments.Runner{Workers: workers}.
-					Sweep(context.Background(), specs)
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, res := range results {
-					if res.Err != nil {
-						b.Fatalf("%v: %v", res.Spec, res.Err)
-					}
+	sweep := func(b *testing.B, r experiments.Runner) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			results, err := r.Sweep(context.Background(), specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatalf("%v: %v", res.Spec, res.Err)
 				}
 			}
-			b.ReportMetric(float64(len(specs)), "points")
+		}
+		b.ReportMetric(float64(len(specs)), "points")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sweep(b, experiments.Runner{Workers: workers})
 		})
 	}
+	b.Run("workers=1/warm-start", func(b *testing.B) {
+		// Snapshot each point at 2µs simulated — most of the scale-32
+		// sanity3 runs — and restore it on every timed iteration.
+		r := experiments.Runner{Workers: 1, Warmup: 2 * sim.Microsecond,
+			Ckpts: experiments.NewCheckpointCache("")}
+		if _, err := r.Sweep(context.Background(), specs); err != nil {
+			b.Fatal(err) // populate the cache outside the timing loop
+		}
+		b.ResetTimer()
+		sweep(b, r)
+	})
 }
 
 // BenchmarkTable3 measures the three Table 3 configurations per workload;

@@ -7,6 +7,13 @@
 //	gem5rtl -cores 1 -mem DDR4-4ch -program sort -n 200
 //	gem5rtl -mem HBM -nvdla 4 -inflight 64 -dla-workload sanity3
 //	gem5rtl -cores 1 -pmu -program stream
+//
+// A run can be suspended and resumed: -checkpoint-at stops at a simulated
+// time and serialises the full system; -restore (with the same configuration
+// flags) resumes it, producing output identical to the uninterrupted run:
+//
+//	gem5rtl -cores 1 -program sort -checkpoint-at 5ms -checkpoint-out ck.bin
+//	gem5rtl -cores 1 -program sort -restore ck.bin
 package main
 
 import (
@@ -37,6 +44,9 @@ func main() {
 	scratchpad := flag.Bool("scratchpad", false, "hook NVDLA SRAMIF to an on-chip scratchpad (paper §4.2 extension)")
 	limitMs := flag.Int("limit-ms", 2000, "simulated time limit in milliseconds")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the run (0 = none)")
+	ckptAt := flag.Duration("checkpoint-at", 0, "run to this simulated time (pick one before the run completes), save a checkpoint, and exit")
+	ckptOut := flag.String("checkpoint-out", "gem5rtl.ckpt", "checkpoint file written by -checkpoint-at")
+	restorePath := flag.String("restore", "", "resume from a checkpoint file; other flags must match the checkpointed configuration")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -58,7 +68,13 @@ func main() {
 		fatal(err)
 	}
 
-	if *withPMU {
+	restoring := *restorePath != ""
+
+	// A restored run performs none of the live-run setup below: program
+	// text, core state, accelerator progress and PMU registers all come from
+	// the checkpoint. Only host-side closures (the exit handler) are
+	// re-registered.
+	if *withPMU && !restoring {
 		s.PMU.Start()
 		host := experiments.NewAXIHost(s.Queue)
 		port.Bind(host.Port(), s.PMU.CPUPort(0))
@@ -79,30 +95,69 @@ func main() {
 		fatal(fmt.Errorf("unknown program %q", *program))
 	}
 	running := 0
-	if src != "" {
+	onExit := func(int64) {
+		running--
+		if running == 0 && *nvdlas == 0 {
+			s.Queue.ExitSimLoop("program exit")
+		}
+	}
+	if src != "" && !restoring {
 		if err := s.LoadProgram(0, src); err != nil {
 			fatal(err)
 		}
 		running++
-		s.Cores[0].OnExit = func(int64) {
-			running--
-			if running == 0 && *nvdlas == 0 {
-				s.Queue.ExitSimLoop("program exit")
-			}
-		}
+		s.Cores[0].OnExit = onExit
 		s.StartCores(0)
 	}
 
-	for i := 0; i < *nvdlas; i++ {
-		s.NVDLAs[i].Start()
-		tr, err := trace.Scaled(*dlaWorkload, uint64(i+1)<<32, *dlaScale)
+	if !restoring {
+		for i := 0; i < *nvdlas; i++ {
+			s.NVDLAs[i].Start()
+			tr, err := trace.Scaled(*dlaWorkload, uint64(i+1)<<32, *dlaScale)
+			if err != nil {
+				fatal(err)
+			}
+			s.PlayTrace(i, tr)
+		}
+	}
+
+	if restoring {
+		tick, err := s.RestoreFile(*restorePath)
 		if err != nil {
 			fatal(err)
 		}
-		s.PlayTrace(i, tr)
+		fmt.Fprintf(os.Stderr, "# restored %s at %.3f ms simulated\n",
+			*restorePath, float64(tick)/float64(sim.Millisecond))
+		if src != "" {
+			if exited, _ := s.Cores[0].Exited(); !exited {
+				running++
+			}
+			s.Cores[0].OnExit = onExit
+		}
 	}
 
 	limit := sim.Tick(*limitMs) * sim.Millisecond
+	if *ckptAt > 0 {
+		at := sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
+		if *nvdlas > 0 {
+			if _, _, err := s.RunNVDLAPhase(ctx, at); err != nil {
+				fatal(err)
+			}
+		} else {
+			stop := s.Queue.WatchContext(ctx, 0)
+			s.Queue.RunUntil(at)
+			stop()
+			if err := ctx.Err(); err != nil {
+				fatal(err)
+			}
+		}
+		if err := s.SaveFile(*ckptOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# checkpoint at %.3f ms simulated written to %s\n",
+			float64(s.Queue.Now())/float64(sim.Millisecond), *ckptOut)
+		return
+	}
 	if *nvdlas > 0 {
 		done, err := s.RunUntilNVDLAsDoneCtx(ctx, limit)
 		if err != nil {

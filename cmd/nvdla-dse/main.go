@@ -24,6 +24,8 @@ func main() {
 	scale := flag.Int("scale", 8, "trace footprint divisor (1 = full synthetic layers)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the sweep (1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the whole sweep (0 = none)")
+	ckptAt := flag.Duration("checkpoint-at", 0, "warm-start: snapshot each point at this simulated time and restore it on later runs (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist warm-start snapshots here so they survive across runs (requires -checkpoint-at)")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Parse()
 
@@ -36,6 +38,10 @@ func main() {
 
 	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
 	r := experiments.Runner{Workers: *parallel}
+	if *ckptAt > 0 {
+		r.Warmup = sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
+		r.Ckpts = experiments.NewCheckpointCache(*ckptDir)
+	}
 	if *verbose {
 		r.Report = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

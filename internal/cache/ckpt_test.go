@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"gem5rtl/internal/ckpt"
+	"gem5rtl/internal/port"
+	"gem5rtl/internal/sim"
+)
+
+func testCacheCfg() Config {
+	return Config{Name: "l1", SizeBytes: 4 << 10, Assoc: 2, Latency: 1000, MSHRs: 4, StridePrefetch: true}
+}
+
+// buildTestCache wires a cache between a stub CPU and an ideal responder so
+// real traffic can populate its state.
+func buildTestCache(q *sim.EventQueue) *Cache {
+	c := New(testCacheCfg(), q)
+	cpuSide := port.NewRequestPort("cpu", acceptAll{})
+	port.Bind(cpuSide, c.CPUPort())
+	memSide := port.NewResponsePort("mem", acceptAll{})
+	port.Bind(c.MemPort(), memSide)
+	return c
+}
+
+type acceptAll struct{}
+
+func (acceptAll) RecvTimingResp(*port.Packet) bool { return true }
+func (acceptAll) RecvReqRetry()                    {}
+func (acceptAll) RecvTimingReq(*port.Packet) bool  { return true }
+func (acceptAll) RecvRespRetry()                   {}
+
+func saveCache(t *testing.T, c *Cache) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	if err := c.SaveState(w); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCacheRoundTrip fills a cache with resident lines, outstanding MSHRs
+// (with coalesced targets) and prefetcher state, then round-trips it.
+func TestCacheRoundTrip(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := buildTestCache(q)
+
+	// Demand misses with strides to exercise MSHRs and the prefetcher.
+	for i := 0; i < 6; i++ {
+		pkt := port.NewReadPacket(uint64(i)*64, 8)
+		pkt.PushSenderState(uint64(i))
+		c.handleRequest(pkt)
+	}
+	// Coalesce one more target onto an outstanding miss.
+	extra := port.NewReadPacket(0x40, 4)
+	extra.PushSenderState(uint64(99))
+	c.handleRequest(extra)
+	// Fill two blocks so some lines are resident (and one dirtied).
+	fill := port.NewPacket(port.ReadResp, 0, 64)
+	fill.Data = make([]byte, 64)
+	fill.Data[3] = 0xaa
+	c.handleFill(fill)
+	wr := port.NewWritePacket(0x8, []byte{1, 2, 3, 4})
+	wr.PushSenderState(uint64(7))
+	c.handleRequest(wr)
+
+	blob := saveCache(t, c)
+
+	q2 := sim.NewEventQueue()
+	c2 := buildTestCache(q2)
+	if err := c2.RestoreState(ckpt.NewReader(bytes.NewReader(blob))); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := saveCache(t, c2); !bytes.Equal(got, blob) {
+		t.Error("re-saved state differs from original checkpoint")
+	}
+	if ln := c2.lookup(0x0); ln == nil || !ln.dirty || ln.data[3] != 0xaa || ln.data[8] != 1 {
+		t.Error("restored line contents wrong")
+	}
+	if len(c2.mshrs) != len(c.mshrs) {
+		t.Errorf("restored MSHRs = %d, want %d", len(c2.mshrs), len(c.mshrs))
+	}
+	if c2.stats != c.stats {
+		t.Errorf("stats = %+v, want %+v", c2.stats, c.stats)
+	}
+}
+
+// TestCacheGeometryMismatch ensures a checkpoint refuses to load into a
+// cache of different shape.
+func TestCacheGeometryMismatch(t *testing.T) {
+	q := sim.NewEventQueue()
+	c := buildTestCache(q)
+	blob := saveCache(t, c)
+
+	cfg := testCacheCfg()
+	cfg.Assoc = 4
+	other := New(cfg, sim.NewEventQueue())
+	if err := other.RestoreState(ckpt.NewReader(bytes.NewReader(blob))); err == nil {
+		t.Fatal("geometry mismatch not detected")
+	}
+}

@@ -1,0 +1,50 @@
+package ckpt
+
+import "fmt"
+
+// SenderState is implemented by packet sender-state values that survive
+// checkpointing. Sender-state stacks carry routing bookkeeping (which port a
+// response returns through, which register a load targets), so in-flight
+// packets cannot be serialised without them. Each concrete type claims a
+// stream-wide kind tag and registers a decoder; the set of types is closed
+// and small (CPU load state, crossbar routing, raw request IDs).
+type SenderState interface {
+	// SenderStateKind returns the type's registered kind tag.
+	SenderStateKind() uint8
+	// EncodeSenderState writes the value's fields.
+	EncodeSenderState(w *Writer)
+}
+
+// Reserved sender-state kind tags. RawU64SenderState is handled directly by
+// the port package (bare uint64 values used as request IDs); component
+// packages register their own tags in init().
+const (
+	RawU64SenderState uint8 = 0
+	CPULoadState      uint8 = 1
+	XbarFrontState    uint8 = 2
+)
+
+// SenderStateDecoder reconstructs one sender-state value from the stream.
+type SenderStateDecoder func(r *Reader) any
+
+var senderStateDecoders [256]SenderStateDecoder
+
+// RegisterSenderState installs the decoder for a kind tag. Called from
+// package init(); double registration is a programming error.
+func RegisterSenderState(kind uint8, dec SenderStateDecoder) {
+	if senderStateDecoders[kind] != nil {
+		panic(fmt.Sprintf("ckpt: sender-state kind %d registered twice", kind))
+	}
+	senderStateDecoders[kind] = dec
+}
+
+// DecodeSenderState reconstructs the value for a kind tag read from the
+// stream, failing the reader for unknown kinds.
+func DecodeSenderState(kind uint8, r *Reader) any {
+	dec := senderStateDecoders[kind]
+	if dec == nil {
+		r.Fail(fmt.Errorf("ckpt: no decoder for sender-state kind %d", kind))
+		return nil
+	}
+	return dec(r)
+}

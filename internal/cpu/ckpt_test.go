@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"gem5rtl/internal/ckpt"
+	"gem5rtl/internal/isa"
+	"gem5rtl/internal/sim"
+)
+
+// saveCore serialises a core to bytes, failing the test on error.
+func saveCore(t *testing.T, c *Core) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	if err := c.SaveState(w); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCoreRoundTrip mutates a core into a mid-run shape (sleeping, pending
+// loads, stats), checkpoints it, restores into a fresh core and verifies the
+// re-serialised state is byte-identical and key fields survived.
+func TestCoreRoundTrip(t *testing.T) {
+	q := sim.NewEventQueue()
+	dom := sim.NewClockDomain("clk", q, 2_000_000_000)
+	c := New(DefaultConfig(0), dom)
+	c.ticker.Start()
+	for i := range c.regs {
+		c.regs[i] = uint64(i * 3)
+	}
+	c.pc = 0x1234
+	c.pendingReg[5] = true
+	c.outLoads = 2
+	c.outStores = 1
+	c.fetchBlock = 0x40
+	c.fetchOutstanding = 1
+	c.stallCycles = 3
+	c.sleeping = true
+	c.stats = Stats{Cycles: 100, Committed: 250, Loads: 40, SleepCycles: 10}
+	q.Schedule(c.wakeEv, 9_000)
+
+	blob := saveCore(t, c)
+
+	q2 := sim.NewEventQueue()
+	dom2 := sim.NewClockDomain("clk", q2, 2_000_000_000)
+	c2 := New(DefaultConfig(0), dom2)
+	r := ckpt.NewReader(bytes.NewReader(blob))
+	if err := c2.RestoreState(r); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if c2.pc != 0x1234 || c2.regs[7] != 21 || !c2.pendingReg[5] || !c2.sleeping {
+		t.Errorf("fields lost: pc=%#x regs[7]=%d pending5=%v sleeping=%v",
+			c2.pc, c2.regs[7], c2.pendingReg[5], c2.sleeping)
+	}
+	if !c2.wakeEv.Scheduled() || c2.wakeEv.When() != 9_000 {
+		t.Error("wake event not re-materialised")
+	}
+	if !c2.ticker.Running() {
+		t.Error("ticker not re-materialised")
+	}
+	if got := saveCore(t, c2); !bytes.Equal(got, blob) {
+		t.Error("re-saved state differs from original checkpoint")
+	}
+}
+
+// saveRig serialises everything a core rig owns, in a fixed order.
+func saveRig(t *testing.T, r *rig) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	for _, c := range []ckpt.Checkpointable{r.q, r.core, r.l1i, r.l1d, r.store} {
+		if err := c.SaveState(w); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func restoreRig(t *testing.T, r *rig, blob []byte) {
+	t.Helper()
+	rd := ckpt.NewReader(bytes.NewReader(blob))
+	for _, c := range []ckpt.Checkpointable{r.q, r.core, r.l1i, r.l1d, r.store} {
+		if err := c.RestoreState(rd); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+}
+
+// TestCoreSleepWakeAfterRestore checkpoints a real program mid-sleep,
+// restores it into a fresh rig (no LoadProgram/Start) and checks it wakes,
+// finishes, and exits with the same code at the same tick as an
+// uninterrupted run.
+func TestCoreSleepWakeAfterRestore(t *testing.T) {
+	src := `
+main:
+    li a7, 1000
+    li a0, 50      ; sleep 50 us
+    ecall
+    li a7, 93
+    li a0, 7
+    ecall
+`
+	// Reference: uninterrupted run.
+	ref := newRig(t)
+	if code := ref.run(t, src, 10*sim.Millisecond); code != 7 {
+		t.Fatalf("reference exit %d", code)
+	}
+	refTick := ref.q.Now()
+
+	// Checkpointed run: stop mid-sleep.
+	r := newRig(t)
+	img, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.core.LoadProgram(img)
+	r.core.Start()
+	r.q.RunUntil(10 * sim.Microsecond)
+	if !r.core.sleeping {
+		t.Fatal("core not sleeping at checkpoint tick")
+	}
+	blob := saveRig(t, r)
+
+	// Restore into a fresh rig: no program load, no Start.
+	r2 := newRig(t)
+	restoreRig(t, r2, blob)
+	if !r2.core.sleeping || !r2.core.wakeEv.Scheduled() {
+		t.Fatal("restored core lost its pending wake")
+	}
+	r2.q.RunUntil(10 * sim.Millisecond)
+	exited, code := r2.core.Exited()
+	if !exited || code != 7 {
+		t.Fatalf("restored run: exited=%v code=%d", exited, code)
+	}
+	if r2.q.Now() != refTick {
+		t.Errorf("restored run finished at tick %d, reference at %d", r2.q.Now(), refTick)
+	}
+}

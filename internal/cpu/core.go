@@ -102,6 +102,9 @@ type Core struct {
 	exited      bool
 	exitCode    int64
 	sleeping    bool
+	// wakeEv ends a sleep syscall. It is a persistent, component-owned event
+	// (not an ad-hoc closure) so its pending state can be checkpointed.
+	wakeEv *sim.Event
 
 	decoded map[uint64]isa.Inst
 
@@ -138,7 +141,16 @@ func New(cfg Config, dom *sim.ClockDomain) *Core {
 	c.iPort = port.NewRequestPort(cfg.Name+".icache", (*coreIFace)(c))
 	c.dPort = port.NewRequestPort(cfg.Name+".dcache", (*coreDFace)(c))
 	c.ticker = sim.NewTicker(cfg.Name+".tick", dom, sim.PriCPU, c.cycle)
+	c.wakeEv = sim.NewEvent(cfg.Name+".wake", c.wake)
 	return c
+}
+
+// wake ends a sleep syscall and restarts the clock.
+func (c *Core) wake() {
+	c.sleeping = false
+	if !c.exited {
+		c.ticker.StartAt(c.dom.ClockEdge(0))
+	}
 }
 
 // IPort returns the instruction-side request port (bind to L1I).
@@ -162,7 +174,7 @@ func (c *Core) Reg(r int) uint64 { return c.regs[r] }
 // LoadProgram writes a program image into memory (functionally, through the
 // data port so all cache levels stay consistent) and resets the PC.
 func (c *Core) LoadProgram(image []byte) {
-	pkt := port.NewWritePacket(c.cfg.Entry, image)
+	pkt := port.NewFunctionalWrite(c.cfg.Entry, image)
 	c.dPort.SendFunctional(pkt)
 	c.pc = c.cfg.Entry
 	c.decoded = map[uint64]isa.Inst{}
@@ -228,7 +240,7 @@ func (c *Core) step(committed *int) bool {
 	in, ok := c.decoded[c.pc]
 	if !ok {
 		raw := make([]byte, isa.InstBytes)
-		rd := port.NewReadPacket(c.pc, isa.InstBytes)
+		rd := port.NewFunctionalRead(c.pc, isa.InstBytes)
 		rd.Data = raw
 		c.iPort.SendFunctional(rd)
 		var err error
@@ -267,7 +279,7 @@ func (c *Core) step(committed *int) bool {
 		addr := c.regs[in.Rs1] + uint64(int64(in.Imm))
 		n := in.Op.MemBytes()
 		// Functional backbone: architectural value now...
-		f := port.NewReadPacket(addr, n)
+		f := port.NewFunctionalRead(addr, n)
 		c.dPort.SendFunctional(f)
 		var v uint64
 		for i := n - 1; i >= 0; i-- {
@@ -301,7 +313,7 @@ func (c *Core) step(committed *int) bool {
 		for i := 0; i < n; i++ {
 			buf[i] = byte(v >> (8 * i))
 		}
-		f := port.NewWritePacket(addr, buf)
+		f := port.NewFunctionalWrite(addr, buf)
 		c.dPort.SendFunctional(f)
 		t := port.NewWritePacket(addr, buf)
 		t.RequestorID = c.cfg.ID
@@ -459,13 +471,7 @@ func (c *Core) syscall() bool {
 		dur := sim.Tick(a0) * sim.Microsecond
 		c.sleeping = true
 		c.stats.SleepCycles += c.dom.TicksToCycles(dur)
-		wake := c.q.Now() + dur
-		c.q.ScheduleFunc(c.cfg.Name+".wake", wake, func() {
-			c.sleeping = false
-			if !c.exited {
-				c.ticker.StartAt(c.dom.ClockEdge(0))
-			}
-		})
+		c.q.Schedule(c.wakeEv, c.q.Now()+dur)
 		return false
 	case isa.SysPrintInt:
 		if c.Out != nil {

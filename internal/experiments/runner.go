@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"gem5rtl/internal/sim"
-	"gem5rtl/internal/soc"
 )
 
 // RunSpec fully identifies one independent simulation point of the design
@@ -73,22 +72,9 @@ func RunPoint(ctx context.Context, spec RunSpec) (sim.Tick, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	cfg := soc.DefaultConfig()
-	cfg.Cores = 1 // host cores idle during accelerator runs; keep one for realism
-	cfg.Memory = spec.Memory
-	cfg.NVDLAs = spec.NVDLAs
-	cfg.NVDLAMaxInflight = spec.Inflight
-	s, err := soc.Build(cfg)
+	s, err := buildPoint(spec)
 	if err != nil {
 		return 0, err
-	}
-	for i := 0; i < spec.NVDLAs; i++ {
-		s.NVDLAs[i].Start()
-		tr, err := buildTrace(spec.Workload, uint64(i+1)<<32, spec.Scale)
-		if err != nil {
-			return 0, err
-		}
-		s.PlayTrace(i, tr)
 	}
 	return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
 }
@@ -106,6 +92,31 @@ type Runner struct {
 	// Run overrides the per-point executor; nil means RunPoint. Tests use
 	// this to inject failures and count baseline executions.
 	Run func(ctx context.Context, spec RunSpec) (sim.Tick, error)
+	// Warmup, together with Ckpts, turns the sweep into a warm-start engine:
+	// each point's first execution snapshots the full system at the Warmup
+	// tick, and every later execution of the same point (a repeated sweep, or
+	// a snapshot persisted by a previous process) restores the snapshot and
+	// simulates only the remainder. Results are identical either way — the
+	// soc restore-equivalence property guarantees bit-identical statistics.
+	// Ignored when Run is set or Ckpts is nil.
+	Warmup sim.Tick
+	// Ckpts is the snapshot store for warm starts; nil disables them.
+	Ckpts *CheckpointCache
+}
+
+// executor resolves the per-point run function: an explicit override, the
+// warm-start path, or the plain cold RunPoint.
+func (r Runner) executor() func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
+	if r.Run != nil {
+		return r.Run
+	}
+	if r.Warmup > 0 && r.Ckpts != nil {
+		warmup, cache := r.Warmup, r.Ckpts
+		return func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
+			return RunPointWarm(ctx, spec, warmup, cache)
+		}
+	}
+	return RunPoint
 }
 
 // poolSize resolves the effective worker count for n queued items.
@@ -138,10 +149,7 @@ func (r Runner) Sweep(ctx context.Context, specs []RunSpec) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	run := r.Run
-	if run == nil {
-		run = RunPoint
-	}
+	run := r.executor()
 	results := make([]Result, len(specs))
 	cache := &baselineCache{run: run, entries: map[RunSpec]*baselineEntry{}}
 	idx := make(chan int)

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/soc"
+)
+
+// specConfig maps a sweep point to its SoC configuration.
+func specConfig(spec RunSpec) soc.Config {
+	cfg := soc.DefaultConfig()
+	cfg.Cores = 1 // host cores idle during accelerator runs; keep one for realism
+	cfg.Memory = spec.Memory
+	cfg.NVDLAs = spec.NVDLAs
+	cfg.NVDLAMaxInflight = spec.Inflight
+	return cfg
+}
+
+// buildPoint builds and fully sets up one simulation point: accelerators
+// started and each playing its own copy of the workload trace.
+func buildPoint(spec RunSpec) (*soc.System, error) {
+	s, err := soc.Build(specConfig(spec))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < spec.NVDLAs; i++ {
+		s.NVDLAs[i].Start()
+		tr, err := buildTrace(spec.Workload, uint64(i+1)<<32, spec.Scale)
+		if err != nil {
+			return nil, err
+		}
+		s.PlayTrace(i, tr)
+	}
+	return s, nil
+}
+
+// CheckpointCache holds post-warm-up system snapshots keyed by simulation
+// point. The first run of a point populates its entry (taken at the runner's
+// Warmup tick); every later run of the same point restores it into a fresh
+// build and simulates only the remainder. Entries live in memory; setting
+// Dir additionally persists them as files so the warm start survives across
+// processes (cmd/nvdla-dse -checkpoint-dir). The zero value is not usable —
+// construct with NewCheckpointCache.
+type CheckpointCache struct {
+	dir string
+	mu  sync.Mutex
+	mem map[ckptKey][]byte
+}
+
+// ckptKey identifies a warm-up prefix: the point's behaviour-affecting
+// fields plus the warm-up tick. Limit is zeroed — it only bounds the run and
+// does not influence the prefix.
+type ckptKey struct {
+	spec   RunSpec
+	warmup sim.Tick
+}
+
+// NewCheckpointCache returns an empty cache. dir may be "" for a purely
+// in-memory cache, or a directory (created on first store) for cross-process
+// persistence.
+func NewCheckpointCache(dir string) *CheckpointCache {
+	return &CheckpointCache{dir: dir, mem: map[ckptKey][]byte{}}
+}
+
+// Len reports how many snapshots the in-memory layer holds.
+func (c *CheckpointCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+func (c *CheckpointCache) key(spec RunSpec, warmup sim.Tick) ckptKey {
+	spec.Limit = 0
+	return ckptKey{spec, warmup}
+}
+
+// fileName is deterministic in the key so a later process finds the snapshot
+// an earlier one persisted. Stale files (older code, different trace scale)
+// are harmless: soc.Restore rejects them by fingerprint and the point falls
+// back to a cold run that overwrites the file.
+func (c *CheckpointCache) fileName(k ckptKey) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%s_n%d_%s_if%d_s%d_w%d.ckpt",
+		k.spec.Workload, k.spec.NVDLAs, k.spec.Memory, k.spec.Inflight,
+		k.spec.Scale, k.warmup))
+}
+
+// load returns the snapshot for (spec, warmup), consulting memory first and
+// then the persistence directory.
+func (c *CheckpointCache) load(spec RunSpec, warmup sim.Tick) ([]byte, bool) {
+	k := c.key(spec, warmup)
+	c.mu.Lock()
+	blob, ok := c.mem[k]
+	c.mu.Unlock()
+	if ok {
+		return blob, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	blob, err := os.ReadFile(c.fileName(k))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[k] = blob
+	c.mu.Unlock()
+	return blob, true
+}
+
+// store records the snapshot in memory and, when Dir is set, on disk
+// (best-effort: a full disk degrades to memory-only caching, it does not
+// fail the sweep).
+func (c *CheckpointCache) store(spec RunSpec, warmup sim.Tick, blob []byte) {
+	k := c.key(spec, warmup)
+	c.mu.Lock()
+	c.mem[k] = blob
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	// Write-then-rename so concurrent workers never expose a torn file.
+	name := c.fileName(k)
+	tmp, err := os.CreateTemp(c.dir, ".ckpt-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// drop forgets a snapshot that failed to restore (stale persisted file).
+func (c *CheckpointCache) drop(spec RunSpec, warmup sim.Tick) {
+	k := c.key(spec, warmup)
+	c.mu.Lock()
+	delete(c.mem, k)
+	c.mu.Unlock()
+	if c.dir != "" {
+		os.Remove(c.fileName(k))
+	}
+}
+
+// RunPointWarm executes one simulation point with warm-start checkpointing.
+// On a cache miss it runs the warm-up prefix from tick 0, snapshots the full
+// system at the warmup tick, then finishes the run; on a hit it builds a
+// fresh system, restores the snapshot and simulates only the remainder.
+// Results are identical to RunPoint in either case — the restore-equivalence
+// property (internal/soc TestCheckpointRestoreEquivalenceNVDLA) guarantees
+// the resumed run completes at the same tick with the same statistics.
+//
+// A snapshot that fails to restore (a stale file persisted by an older
+// build) is dropped and the point transparently falls back to a cold run.
+func RunPointWarm(ctx context.Context, spec RunSpec, warmup sim.Tick, cache *CheckpointCache) (sim.Tick, error) {
+	if warmup <= 0 || cache == nil {
+		return RunPoint(ctx, spec)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if blob, ok := cache.load(spec, warmup); ok {
+		s, err := soc.Build(specConfig(spec))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := s.Restore(bytes.NewReader(blob)); err == nil {
+			return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+		}
+		cache.drop(spec, warmup)
+	}
+	s, err := buildPoint(spec)
+	if err != nil {
+		return 0, err
+	}
+	done, remaining, err := s.RunNVDLAPhase(ctx, warmup)
+	if err != nil {
+		return 0, err
+	}
+	if remaining == 0 {
+		// Finished inside the warm-up window; nothing worth snapshotting.
+		return done, nil
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return 0, fmt.Errorf("experiments: warm-start snapshot for %v: %w", spec, err)
+	}
+	cache.store(spec, warmup, buf.Bytes())
+	return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+}

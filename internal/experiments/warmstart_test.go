@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"gem5rtl/internal/sim"
+)
+
+// warmSpecs is a small sanity3 sub-grid: two memory technologies and two
+// in-flight caps, plus the shared ideal baselines the runner adds itself.
+func warmSpecs() []RunSpec {
+	p := DSEParams{Scale: 64, Limit: 8 * sim.Second}
+	var specs []RunSpec
+	for _, inflight := range []int{16, 64} {
+		specs = append(specs, p.Spec("sanity3", 1, "ideal", inflight))
+		for _, mem := range []string{"DDR4-1ch", "HBM"} {
+			specs = append(specs, p.Spec("sanity3", 1, mem, inflight))
+		}
+	}
+	return specs
+}
+
+// TestWarmStartMatchesCold runs the same sweep three ways — cold, warm with
+// an empty cache (populating it), and warm against the populated cache
+// (restoring every point) — and requires identical results throughout.
+func TestWarmStartMatchesCold(t *testing.T) {
+	specs := warmSpecs()
+	ctx := context.Background()
+	const warmup = 1 * sim.Microsecond
+
+	cold, err := Runner{Workers: 1}.Sweep(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCheckpointCache("")
+	populate, err := Runner{Workers: 1, Warmup: warmup, Ckpts: cache}.Sweep(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("warm-up sweep stored no snapshots")
+	}
+	warm, err := Runner{Workers: 1, Warmup: warmup, Ckpts: cache}.Sweep(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range specs {
+		for _, got := range []struct {
+			name string
+			res  Result
+		}{{"populate", populate[i]}, {"warm", warm[i]}} {
+			if got.res.Err != nil {
+				t.Fatalf("%s %v: %v", got.name, specs[i], got.res.Err)
+			}
+			if got.res.Ticks != cold[i].Ticks || got.res.Perf != cold[i].Perf {
+				t.Errorf("%s %v diverges from cold: ticks %d vs %d, perf %g vs %g",
+					got.name, specs[i], got.res.Ticks, cold[i].Ticks, got.res.Perf, cold[i].Perf)
+			}
+		}
+	}
+}
+
+// TestWarmStartPersistsToDir checks the cross-process path: a cache rooted
+// in a directory persists snapshots that a second, fresh cache (fresh
+// process stand-in) restores, with results identical to the cold run.
+func TestWarmStartPersistsToDir(t *testing.T) {
+	spec := DSEParams{Scale: 64, Limit: 8 * sim.Second}.Spec("sanity3", 1, "DDR4-1ch", 64)
+	ctx := context.Background()
+	const warmup = 1 * sim.Microsecond
+	dir := t.TempDir()
+
+	cold, err := RunPoint(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := NewCheckpointCache(dir)
+	populated, err := RunPointWarm(ctx, spec, warmup, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewCheckpointCache(dir)
+	restored, err := RunPointWarm(ctx, spec, warmup, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Len() == 0 {
+		t.Error("second cache did not load the persisted snapshot")
+	}
+	if populated != cold || restored != cold {
+		t.Errorf("warm-start ticks diverge: cold=%d populated=%d restored=%d",
+			cold, populated, restored)
+	}
+}
+
+// TestWarmStartStaleSnapshotFallsBack feeds the cache a snapshot that cannot
+// restore (truncated file) and expects a transparent cold run.
+func TestWarmStartStaleSnapshotFallsBack(t *testing.T) {
+	spec := DSEParams{Scale: 64, Limit: 8 * sim.Second}.Spec("sanity3", 1, "DDR4-1ch", 64)
+	ctx := context.Background()
+	const warmup = 1 * sim.Microsecond
+
+	cold, err := RunPoint(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCheckpointCache("")
+	cache.store(spec, warmup, []byte("not a checkpoint"))
+	got, err := RunPointWarm(ctx, spec, warmup, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cold {
+		t.Errorf("fallback run diverges: cold=%d got=%d", cold, got)
+	}
+}

@@ -20,7 +20,19 @@ type DRAMCtrl struct {
 	rq    *port.RespQueue
 	chans []*dramChannel
 
+	// pendingReads tracks issued reads whose data has not returned yet. Each
+	// entry owns its completion event, so in-flight reads are explicit state
+	// (checkpointable) rather than anonymous closures on the event queue.
+	pendingReads []*dramPendingRead
+
 	stats DRAMStats
+}
+
+// dramPendingRead is one issued-but-uncompleted read access.
+type dramPendingRead struct {
+	pkt     *port.Packet
+	arrived sim.Tick
+	ev      *sim.Event
 }
 
 // DRAMStats aggregates controller activity.
@@ -256,15 +268,7 @@ func (ch *dramChannel) issue() {
 	bank.openRow = int64(req.row)
 
 	if req.pkt.Cmd.IsRead() {
-		pkt := req.pkt
-		d.q.ScheduleFunc(cfg.Name+".readDone", done+cfg.TCL+cfg.BackendLatency, func() {
-			pkt.MakeResponse()
-			pkt.AllocateData()
-			d.store.Read(pkt.Addr, pkt.Data)
-			d.stats.TotalRdLat += d.q.Now() - req.arrived
-			d.stats.RetiredRds++
-			d.rq.Schedule(pkt, d.q.Now())
-		})
+		d.scheduleReadDone(req.pkt, req.arrived, done+cfg.TCL+cfg.BackendLatency)
 	}
 	// A queue slot freed: let a refused sender retry. The retry may re-enter
 	// RecvTimingReq and kick(), scheduling issueEv — the re-arm below must
@@ -294,6 +298,32 @@ func (ch *dramChannel) issue() {
 			d.q.Schedule(ch.issueEv, when)
 		}
 	}
+}
+
+// scheduleReadDone registers an issued read and arms its completion event.
+func (d *DRAMCtrl) scheduleReadDone(pkt *port.Packet, arrived sim.Tick, when sim.Tick) {
+	pr := &dramPendingRead{pkt: pkt, arrived: arrived}
+	pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) })
+	d.pendingReads = append(d.pendingReads, pr)
+	d.q.Schedule(pr.ev, when)
+}
+
+// readDone retires a tracked read: fills the packet from storage and hands
+// it to the response queue.
+func (d *DRAMCtrl) readDone(pr *dramPendingRead) {
+	for i, p := range d.pendingReads {
+		if p == pr {
+			d.pendingReads = append(d.pendingReads[:i], d.pendingReads[i+1:]...)
+			break
+		}
+	}
+	pkt := pr.pkt
+	pkt.MakeResponse()
+	pkt.AllocateData()
+	d.store.Read(pkt.Addr, pkt.Data)
+	d.stats.TotalRdLat += d.q.Now() - pr.arrived
+	d.stats.RetiredRds++
+	d.rq.Schedule(pkt, d.q.Now())
 }
 
 // QueueOccupancy reports total queued reads and writes across channels

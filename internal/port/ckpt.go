@@ -1,0 +1,169 @@
+package port
+
+import (
+	"fmt"
+
+	"gem5rtl/internal/ckpt"
+	"gem5rtl/internal/sim"
+)
+
+// SavePacket serialises one packet, including its sender-state stack. Each
+// stack entry is either a bare uint64 (request IDs pushed by the RTLObject
+// bridge, tagged ckpt.RawU64SenderState) or a registered ckpt.SenderState
+// implementation; anything else fails the save — extending the closed set of
+// sender-state types requires teaching it to checkpoint itself.
+func SavePacket(w *ckpt.Writer, p *Packet) {
+	w.U64(p.ID)
+	w.I64(int64(p.Cmd))
+	w.U64(p.Addr)
+	w.Int(p.Size)
+	w.Bytes(p.Data)
+	w.U64(uint64(p.ReqTick))
+	w.Int(p.RequestorID)
+	w.Int(len(p.senderState))
+	for _, s := range p.senderState {
+		switch v := s.(type) {
+		case uint64:
+			w.U8(ckpt.RawU64SenderState)
+			w.U64(v)
+		case ckpt.SenderState:
+			w.U8(v.SenderStateKind())
+			v.EncodeSenderState(w)
+		default:
+			w.Fail(fmt.Errorf("port: packet %d carries non-checkpointable sender state %T", p.ID, s))
+			return
+		}
+	}
+}
+
+// LoadPacket reconstructs a packet written by SavePacket. Restored packets
+// are distinct host objects with the original IDs; no component compares
+// packet pointers across the save boundary, so identity is carried entirely
+// by the ID and the sender-state stack.
+func LoadPacket(r *ckpt.Reader) *Packet {
+	p := &Packet{}
+	p.ID = r.U64()
+	p.Cmd = Cmd(r.I64())
+	p.Addr = r.U64()
+	p.Size = r.Int()
+	p.Data = r.Bytes()
+	p.ReqTick = sim.Tick(r.U64())
+	p.RequestorID = r.Int()
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		kind := r.U8()
+		if r.Err() != nil {
+			return p
+		}
+		if kind == ckpt.RawU64SenderState {
+			p.senderState = append(p.senderState, r.U64())
+			continue
+		}
+		p.senderState = append(p.senderState, ckpt.DecodeSenderState(kind, r))
+	}
+	return p
+}
+
+// SaveState captures a response port's retry bookkeeping. The flags live on
+// the link's response side for both directions, so responders save their
+// ports as part of their own state.
+func (p *ResponsePort) SaveState(w *ckpt.Writer) error {
+	w.Section("port.resp")
+	w.Bool(p.needReqRetry)
+	w.Bool(p.needRespRetry)
+	return w.Err()
+}
+
+// RestoreState reinstates the retry flags.
+func (p *ResponsePort) RestoreState(r *ckpt.Reader) error {
+	r.Section("port.resp")
+	p.needReqRetry = r.Bool()
+	p.needRespRetry = r.Bool()
+	return r.Err()
+}
+
+// SaveState captures the queued responses, the blocked flag and the drain
+// event of a RespQueue.
+func (rq *RespQueue) SaveState(w *ckpt.Writer) error {
+	w.Section("port.respq")
+	w.Bool(rq.blocked)
+	sim.SaveEvent(w, rq.ev)
+	w.Int(len(rq.pending))
+	for _, qp := range rq.pending {
+		SavePacket(w, qp.pkt)
+		w.U64(uint64(qp.when))
+	}
+	return w.Err()
+}
+
+// RestoreState reinstates the queue contents and re-materialises the drain
+// event.
+func (rq *RespQueue) RestoreState(r *ckpt.Reader) error {
+	r.Section("port.respq")
+	rq.blocked = r.Bool()
+	rq.q.RestoreEvent(r, rq.ev)
+	n := r.Len()
+	rq.pending = rq.pending[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pkt := LoadPacket(r)
+		rq.pending = append(rq.pending, queuedPkt{pkt, sim.Tick(r.U64())})
+	}
+	return r.Err()
+}
+
+// SaveState captures the queued requests, the blocked flag and the drain
+// event of a ReqQueue.
+func (rq *ReqQueue) SaveState(w *ckpt.Writer) error {
+	w.Section("port.reqq")
+	w.Bool(rq.blocked)
+	sim.SaveEvent(w, rq.ev)
+	w.Int(len(rq.pending))
+	for _, qp := range rq.pending {
+		SavePacket(w, qp.pkt)
+		w.U64(uint64(qp.when))
+	}
+	return w.Err()
+}
+
+// RestoreState reinstates the queue contents and re-materialises the drain
+// event.
+func (rq *ReqQueue) RestoreState(r *ckpt.Reader) error {
+	r.Section("port.reqq")
+	rq.blocked = r.Bool()
+	rq.q.RestoreEvent(r, rq.ev)
+	n := r.Len()
+	rq.pending = rq.pending[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pkt := LoadPacket(r)
+		rq.pending = append(rq.pending, queuedPkt{pkt, sim.Tick(r.U64())})
+	}
+	return r.Err()
+}
+
+// PacketIDMark returns the current value of the process-global packet-ID
+// counter: the high-water mark a checkpoint must record.
+func PacketIDMark() uint64 { return packetID.Load() }
+
+// FastForwardPacketID advances the global packet-ID counter to at least mark.
+// Restore paths call this with the checkpoint's recorded mark so a resumed
+// run never mints an ID that collides with a packet already in flight inside
+// the restored state. Lock-free and monotonic: concurrent restores and
+// running simulations only ever move the counter forward.
+func FastForwardPacketID(mark uint64) {
+	for {
+		cur := packetID.Load()
+		if cur >= mark {
+			return
+		}
+		if packetID.CompareAndSwap(cur, mark) {
+			return
+		}
+	}
+}
+
+// SetPacketIDForTest sets the counter to an absolute value, including
+// backwards. Restore-equivalence tests use it to replay the ID sequence a
+// fresh process would see when comparing in-process runs. Rewinding is only
+// safe while no other simulation is allocating packets — production restore
+// paths must use FastForwardPacketID.
+func SetPacketIDForTest(v uint64) { packetID.Store(v) }

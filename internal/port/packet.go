@@ -111,6 +111,22 @@ func NewReadPacket(addr uint64, size int) *Packet {
 	return NewPacket(ReadReq, addr, size)
 }
 
+// NewFunctionalRead builds a read that does NOT consume a global packet ID
+// (ID 0). Functional accesses complete synchronously inside a single call
+// and never enter checkpointed state; minting IDs for them would make the
+// ID sequence depend on host-side memoisation (for example the core's
+// decode cache, which a restored run rebuilds lazily) and break bit-exact
+// checkpoint/restore equivalence.
+func NewFunctionalRead(addr uint64, size int) *Packet {
+	return &Packet{Cmd: ReadReq, Addr: addr, Size: size}
+}
+
+// NewFunctionalWrite builds a write that does NOT consume a global packet
+// ID (ID 0); see NewFunctionalRead. The data slice is not copied.
+func NewFunctionalWrite(addr uint64, data []byte) *Packet {
+	return &Packet{Cmd: WriteReq, Addr: addr, Size: len(data), Data: data}
+}
+
 // PushSenderState saves routing state before forwarding a packet downstream;
 // the matching PopSenderState retrieves it when the response comes back.
 // This mirrors gem5's Packet::pushSenderState.

@@ -90,5 +90,11 @@ func (m *Model) RestoreCheckpoint(r io.Reader) error {
 		}
 	}
 	m.Eval()
+	// An attached VCD writer keeps a last-value snapshot for change
+	// detection; realign it so the next dump emits deltas against the
+	// restored state instead of the pre-restore one.
+	if m.vcd != nil {
+		m.vcd.Resync(m)
+	}
 	return nil
 }

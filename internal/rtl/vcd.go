@@ -54,6 +54,21 @@ func (v *VCDWriter) Changes() uint64 { return v.changes }
 // Flush flushes buffered output; call at end of simulation.
 func (v *VCDWriter) Flush() error { return v.w.Flush() }
 
+// Resync realigns the writer with the model after an out-of-band state change
+// (checkpoint restore). The writer's change-detection snapshot would otherwise
+// still describe the pre-restore values, so the first post-restore dump would
+// emit a wrong delta. Resync dumps every signal's current value at the
+// restored cycle's timestamp and refreshes the snapshot. Note the waveform
+// FILE is not part of a checkpoint: a restored run's trace begins at the
+// restore point rather than replaying history.
+func (v *VCDWriter) Resync(m *Model) {
+	fmt.Fprintf(v.w, "#%d\n", m.cycle*v.period)
+	for i := range m.c.Signals {
+		v.writeValue(m.c.Signals[i].Width, m.vals[i], v.ids[i])
+		v.last[i] = m.vals[i]
+	}
+}
+
 // vcdID generates the printable short identifiers VCD uses ("!", "\"", ...).
 func vcdID(i int) string {
 	const base = 94 // printable ASCII 33..126

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gem5rtl/internal/ckpt"
+)
+
+// SaveState serialises the queue's clock, sequence counter, dispatch count
+// and exit latch. Pending events are deliberately not serialised here: events
+// hold closures, which cannot cross a process boundary. Instead every
+// component saves the scheduling state of the events it owns (SaveEvent) and
+// re-materialises them during its own RestoreState (RestoreEvent), preserving
+// the original insertion sequence numbers so intra-tick ordering after a
+// restore is bit-identical to the uninterrupted run.
+func (q *EventQueue) SaveState(w *ckpt.Writer) error {
+	w.Section("sim.eventq")
+	w.U64(uint64(q.now))
+	w.U64(q.seq)
+	w.U64(q.dispatched)
+	w.Bool(q.exitSet)
+	w.String(q.exitReason)
+	return w.Err()
+}
+
+// RestoreState loads the queue's clock and counters. It must run on a
+// pristine queue (freshly built system, nothing started) and before any
+// component restores: component reschedules validate against the restored
+// clock, and the restored sequence counter guarantees that events scheduled
+// after the restore order behind every re-materialised one.
+func (q *EventQueue) RestoreState(r *ckpt.Reader) error {
+	if q.now != 0 || len(q.heap) != 0 || q.dispatched != 0 {
+		return fmt.Errorf("sim: queue restore requires a pristine queue (now=%d, pending=%d, dispatched=%d)",
+			q.now, len(q.heap), q.dispatched)
+	}
+	r.Section("sim.eventq")
+	q.now = Tick(r.U64())
+	q.seq = r.U64()
+	q.dispatched = r.U64()
+	q.exitSet = r.Bool()
+	q.exitReason = r.String()
+	return r.Err()
+}
+
+// RestoreSchedule inserts e with an explicit (when, seq) pair captured by a
+// checkpoint. Unlike Schedule it does not mint a fresh sequence number:
+// keeping the saved one makes heap ordering independent of the order in which
+// components happen to re-materialise their events. The queue's own counter
+// is bumped past seq so post-restore Schedule calls cannot collide.
+func (q *EventQueue) RestoreSchedule(e *Event, when Tick, seq uint64) {
+	if e.scheduled {
+		panic(fmt.Sprintf("sim: restoring already-scheduled event %q", e.name))
+	}
+	if when < q.now {
+		panic(fmt.Sprintf("sim: event %q restored at %d, before now %d", e.name, when, q.now))
+	}
+	e.when = when
+	e.seq = seq
+	e.scheduled = true
+	heap.Push(&q.heap, e)
+	if seq >= q.seq {
+		q.seq = seq + 1
+	}
+}
+
+// SaveEvent records the scheduling state of a component-owned event:
+// whether it is pending and, if so, its tick and sequence number.
+func SaveEvent(w *ckpt.Writer, e *Event) {
+	w.Bool(e.scheduled)
+	if e.scheduled {
+		w.U64(uint64(e.when))
+		w.U64(e.seq)
+	}
+}
+
+// RestoreEvent re-schedules e from state captured by SaveEvent. The event
+// must belong to the restoring component (its closure is recreated by the
+// component's constructor; only the scheduling state travels through the
+// checkpoint).
+func (q *EventQueue) RestoreEvent(r *ckpt.Reader, e *Event) {
+	if !r.Bool() {
+		return
+	}
+	when := Tick(r.U64())
+	seq := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	q.RestoreSchedule(e, when, seq)
+}
+
+// SaveState captures the ticker's cycle count and pending-edge event.
+func (t *Ticker) SaveState(w *ckpt.Writer) error {
+	w.Section("sim.ticker")
+	w.U64(t.cycle)
+	SaveEvent(w, t.ev)
+	return w.Err()
+}
+
+// RestoreState reinstates the cycle count and (if it was pending) the next
+// clock-edge event. Restored tickers must not also be Start()ed.
+func (t *Ticker) RestoreState(r *ckpt.Reader) error {
+	r.Section("sim.ticker")
+	t.cycle = r.U64()
+	t.dom.q.RestoreEvent(r, t.ev)
+	return r.Err()
+}

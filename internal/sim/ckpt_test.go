@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"gem5rtl/internal/ckpt"
+)
+
+// TestEventQueueRoundTrip checks that queue counters and exit state survive a
+// save/restore and that restored runs are refused on dirty queues.
+func TestEventQueueRoundTrip(t *testing.T) {
+	q := NewEventQueue()
+	q.ScheduleFunc("a", 100, func() {})
+	q.ScheduleFunc("b", 200, func() {})
+	q.RunUntil(150)
+	q.ExitSimLoop("test exit")
+
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	if err := q.SaveState(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2 := NewEventQueue()
+	r := ckpt.NewReader(bytes.NewReader(buf.Bytes()))
+	if err := q2.RestoreState(r); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Now() != q.Now() || q2.Dispatched() != q.Dispatched() {
+		t.Errorf("restored now=%d dispatched=%d, want %d/%d", q2.Now(), q2.Dispatched(), q.Now(), q.Dispatched())
+	}
+	if q2.ExitReason() != "test exit" {
+		t.Errorf("exit reason = %q", q2.ExitReason())
+	}
+
+	// Restoring into a used queue must be refused.
+	q3 := NewEventQueue()
+	q3.ScheduleFunc("x", 0, func() {})
+	q3.Step()
+	r = ckpt.NewReader(bytes.NewReader(buf.Bytes()))
+	if err := q3.RestoreState(r); err == nil {
+		t.Fatal("restore into dirty queue should fail")
+	}
+}
+
+// TestRestoreSchedulePreservesOrder re-materialises three same-tick events in
+// a different order than they were originally scheduled and checks that the
+// saved sequence numbers still decide dispatch order.
+func TestRestoreSchedulePreservesOrder(t *testing.T) {
+	q := NewEventQueue()
+	var order []string
+	mk := func(name string) *Event { return NewEvent(name, func() { order = append(order, name) }) }
+	a, b, c := mk("a"), mk("b"), mk("c")
+
+	// Restore in reverse order with explicit seqs.
+	q.RestoreSchedule(c, 100, 2)
+	q.RestoreSchedule(b, 100, 1)
+	q.RestoreSchedule(a, 100, 0)
+	// A newly scheduled event at the same tick must order after all three.
+	q.ScheduleFunc("d", 100, func() { order = append(order, "d") })
+
+	q.Run()
+	want := []string{"a", "b", "c", "d"}
+	for i, n := range want {
+		if i >= len(order) || order[i] != n {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventAndTickerRoundTrip saves a scheduled event and a running ticker,
+// restores them into a fresh queue, and checks both fire at identical times.
+func TestEventAndTickerRoundTrip(t *testing.T) {
+	run := func(restore bool) (fired Tick, cycles uint64) {
+		q := NewEventQueue()
+		dom := NewClockDomain("clk", q, 1_000_000_000) // 1 ns period
+		var ev *Event
+		ev = NewEvent("fire", func() { fired = q.Now() })
+		tk := NewTicker("tick", dom, 0, func(uint64) bool { return true })
+
+		if !restore {
+			tk.Start()
+			q.Schedule(ev, 7_500)
+			q.RunUntil(20_000)
+			cycles = tk.Cycle()
+			return fired, cycles
+		}
+
+		// Build the same system, run half way, checkpoint, and pour the
+		// state into a second fresh instance.
+		tk.Start()
+		q.Schedule(ev, 7_500)
+		q.RunUntil(5_000)
+
+		var buf bytes.Buffer
+		w := ckpt.NewWriter(&buf)
+		if err := q.SaveState(w); err != nil {
+			t.Fatal(err)
+		}
+		SaveEvent(w, ev)
+		if err := tk.SaveState(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		q2 := NewEventQueue()
+		dom2 := NewClockDomain("clk", q2, 1_000_000_000)
+		var fired2 Tick
+		ev2 := NewEvent("fire", func() { fired2 = q2.Now() })
+		tk2 := NewTicker("tick", dom2, 0, func(uint64) bool { return true })
+		r := ckpt.NewReader(bytes.NewReader(buf.Bytes()))
+		if err := q2.RestoreState(r); err != nil {
+			t.Fatal(err)
+		}
+		q2.RestoreEvent(r, ev2)
+		if err := tk2.RestoreState(r); err != nil {
+			t.Fatal(err)
+		}
+		q2.RunUntil(20_000)
+		return fired2, tk2.Cycle()
+	}
+
+	coldFired, coldCycles := run(false)
+	warmFired, warmCycles := run(true)
+	if coldFired != warmFired {
+		t.Errorf("event fired at %d after restore, want %d", warmFired, coldFired)
+	}
+	if coldCycles != warmCycles {
+		t.Errorf("ticker cycles = %d after restore, want %d", warmCycles, coldCycles)
+	}
+}

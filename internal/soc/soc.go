@@ -65,7 +65,10 @@ type System struct {
 	L1Is  []*cache.Cache
 	L1Ds  []*cache.Cache
 	L2s   []*cache.Cache
-	LLC   *cache.Cache
+	// L2Muxes are the private 2:1 L1->L2 crossbars, one per core, kept so
+	// checkpointing can reach their queued packets.
+	L2Muxes []*noc.Xbar
+	LLC     *cache.Cache
 	// CPUXbar joins the L2s to the LLC; MemXbar joins the LLC and the
 	// accelerators to the memory controller.
 	CPUXbar *noc.Xbar
@@ -173,6 +176,7 @@ func Build(cfg Config) (*System, error) {
 		s.L1Is = append(s.L1Is, l1i)
 		s.L1Ds = append(s.L1Ds, l1d)
 		s.L2s = append(s.L2s, l2)
+		s.L2Muxes = append(s.L2Muxes, mux)
 	}
 
 	// PMU (Figure 2b): events from core 0's commit tap and L1D misses,
@@ -356,8 +360,29 @@ func (s *System) RunUntilNVDLAsDone(limit sim.Tick) (sim.Tick, error) {
 // watcher only observes the context, so an uncancelled run completes at
 // tick-identical times to RunUntilNVDLAsDone.
 func (s *System) RunUntilNVDLAsDoneCtx(ctx context.Context, limit sim.Tick) (sim.Tick, error) {
-	if err := ctx.Err(); err != nil {
+	done, remaining, err := s.RunNVDLAPhase(ctx, limit)
+	if err != nil {
 		return 0, err
+	}
+	if remaining > 0 {
+		return 0, fmt.Errorf("soc: %d accelerators still running at tick %d", remaining, s.Queue.Now())
+	}
+	return done, nil
+}
+
+// RunNVDLAPhase simulates until every accelerator has raised its completion
+// interrupt or the simulated-time limit passes, whichever comes first, and
+// returns the reached tick plus how many accelerators are still running.
+// Unlike RunUntilNVDLAsDoneCtx, hitting the limit is not an error — this is
+// the split primitive checkpointing runs on: a prefix run to a checkpoint
+// tick and the resumed remainder chain through RunNVDLAPhase and dispatch
+// exactly the events an uninterrupted run would, so restored statistics and
+// event counts stay bit-identical. Accelerators that finish before the limit
+// behave the same in both halves: the phase ends early at the true
+// completion tick with remaining == 0.
+func (s *System) RunNVDLAPhase(ctx context.Context, limit sim.Tick) (sim.Tick, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
 	remaining := 0
 	for _, w := range s.NVDLAWrappers {
@@ -366,7 +391,7 @@ func (s *System) RunUntilNVDLAsDoneCtx(ctx context.Context, limit sim.Tick) (sim
 		}
 	}
 	if remaining == 0 {
-		return s.Queue.Now(), nil
+		return s.Queue.Now(), 0, nil
 	}
 	for _, o := range s.NVDLAs {
 		o := o
@@ -383,12 +408,12 @@ func (s *System) RunUntilNVDLAsDoneCtx(ctx context.Context, limit sim.Tick) (sim
 	defer stop()
 	s.Queue.RunUntil(limit)
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, remaining, err
 	}
 	if remaining > 0 {
-		return 0, fmt.Errorf("soc: %d accelerators still running at tick %d", remaining, s.Queue.Now())
+		return s.Queue.Now(), remaining, nil
 	}
 	done := s.Queue.Now()
 	s.Queue.ClearExit()
-	return done, nil
+	return done, 0, nil
 }
