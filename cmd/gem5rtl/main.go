@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/guard"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
@@ -47,7 +48,13 @@ func main() {
 	ckptAt := flag.Duration("checkpoint-at", 0, "run to this simulated time (pick one before the run completes), save a checkpoint, and exit")
 	ckptOut := flag.String("checkpoint-out", "gem5rtl.ckpt", "checkpoint file written by -checkpoint-at")
 	restorePath := flag.String("restore", "", "resume from a checkpoint file; other flags must match the checkpointed configuration")
+	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog: abort with a diagnostic dump instead of idling to the time limit on a hang")
+	checkPorts := flag.Bool("check-ports", false, "enforce the timing-port handshake protocol on every bound link (panics on a violation)")
 	flag.Parse()
+
+	if *checkPorts {
+		port.Checking = true
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -136,6 +143,10 @@ func main() {
 		}
 	}
 
+	if *watchdog {
+		s.AttachWatchdog(guard.Config{})
+	}
+
 	limit := sim.Tick(*limitMs) * sim.Millisecond
 	if *ckptAt > 0 {
 		at := sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
@@ -150,6 +161,13 @@ func main() {
 			if err := ctx.Err(); err != nil {
 				fatal(err)
 			}
+		}
+		if s.Watchdog != nil {
+			if err := s.Watchdog.Err(); err != nil {
+				fatal(err)
+			}
+			// The check event is host-side and not serialisable.
+			s.Watchdog.Stop()
 		}
 		if err := s.SaveFile(*ckptOut); err != nil {
 			fatal(err)
@@ -170,6 +188,11 @@ func main() {
 		s.Queue.RunUntil(limit)
 		stop()
 		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if s.Watchdog != nil {
+		if err := s.Watchdog.Err(); err != nil {
 			fatal(err)
 		}
 	}

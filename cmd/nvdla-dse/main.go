@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/guard"
+	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
 
@@ -27,7 +29,13 @@ func main() {
 	ckptAt := flag.Duration("checkpoint-at", 0, "warm-start: snapshot each point at this simulated time and restore it on later runs (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "persist warm-start snapshots here so they survive across runs (requires -checkpoint-at)")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog to every cold point so hangs fail fast with a diagnostic (ignored on warm-start runs)")
+	checkPorts := flag.Bool("check-ports", false, "enforce the timing-port handshake protocol on every bound link (panics on a violation)")
 	flag.Parse()
+
+	if *checkPorts {
+		port.Checking = true
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -41,6 +49,9 @@ func main() {
 	if *ckptAt > 0 {
 		r.Warmup = sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
 		r.Ckpts = experiments.NewCheckpointCache(*ckptDir)
+	}
+	if *watchdog {
+		r.Guard = &guard.Config{}
 	}
 	if *verbose {
 		r.Report = func(s string) { fmt.Fprintln(os.Stderr, s) }

@@ -1,0 +1,43 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The liveness-probe methods below implement guard.Probe (structurally; this
+// package does not import guard): the watchdog waits on MSHR occupancy and
+// queued packets, and dumps them when a simulation wedges.
+
+// GuardName identifies the cache in watchdog diagnostics.
+func (c *Cache) GuardName() string { return c.cfg.Name }
+
+// InFlight reports outstanding misses plus queued packets.
+func (c *Cache) InFlight() int {
+	return len(c.mshrs) + c.respQ.Len() + c.reqQ.Len()
+}
+
+// GuardDetail renders MSHR blocks with their target packet IDs.
+func (c *Cache) GuardDetail() string {
+	blocks := make([]uint64, 0, len(c.mshrs))
+	for b := range c.mshrs {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	const maxBlocks = 8
+	var parts []string
+	for i, b := range blocks {
+		if i == maxBlocks {
+			parts = append(parts, fmt.Sprintf("+%d more", len(blocks)-maxBlocks))
+			break
+		}
+		m := c.mshrs[b]
+		ids := make([]string, len(m.targets))
+		for j, t := range m.targets {
+			ids[j] = fmt.Sprintf("%d", t.ID)
+		}
+		parts = append(parts, fmt.Sprintf("mshr %#x pkts=[%s]", b, strings.Join(ids, " ")))
+	}
+	return fmt.Sprintf("respQ=%d reqQ=%d %s", c.respQ.Len(), c.reqQ.Len(), strings.Join(parts, " "))
+}

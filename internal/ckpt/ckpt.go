@@ -244,14 +244,49 @@ func (r *Reader) I64() int64 { return int64(r.U64()) }
 // Int reads an int written with Writer.Int.
 func (r *Reader) Int() int { return int(r.I64()) }
 
-// Len reads a non-negative length; negative values latch an error.
+// MaxLen caps any length-prefixed field a Reader accepts. Real sections are
+// far smaller; a length beyond this is a corrupted or hostile stream and is
+// rejected before any allocation.
+const MaxLen = 1 << 30
+
+// Len reads a non-negative length; negative or implausibly large values
+// latch an error.
 func (r *Reader) Len() int {
 	n := r.Int()
 	if n < 0 {
 		r.Fail(fmt.Errorf("ckpt: negative length %d in stream", n))
 		return 0
 	}
+	if n > MaxLen {
+		r.Fail(fmt.Errorf("ckpt: implausible length %d in stream (max %d)", n, MaxLen))
+		return 0
+	}
 	return n
+}
+
+// readN reads exactly n bytes, growing the buffer in bounded chunks so a
+// corrupted length prefix fails at the stream's true end instead of
+// allocating the full claimed size up front.
+func (r *Reader) readN(n int) []byte {
+	const chunk = 64 << 10
+	c := n
+	if c > chunk {
+		c = chunk
+	}
+	buf := make([]byte, 0, c)
+	for len(buf) < n {
+		c = n - len(buf)
+		if c > chunk {
+			c = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r.r, buf[start:]); err != nil {
+			r.Fail(err)
+			return nil
+		}
+	}
+	return buf
 }
 
 // Bool reads a boolean.
@@ -282,12 +317,9 @@ func (r *Reader) Bytes() []byte {
 	if r.err != nil {
 		return nil
 	}
-	b := make([]byte, n)
-	if n > 0 {
-		if _, err := io.ReadFull(r.r, b); err != nil {
-			r.Fail(err)
-			return nil
-		}
+	b := r.readN(n)
+	if r.err != nil {
+		return nil
 	}
 	return b
 }
@@ -298,12 +330,9 @@ func (r *Reader) String() string {
 	if r.err != nil {
 		return ""
 	}
-	b := make([]byte, n)
-	if n > 0 {
-		if _, err := io.ReadFull(r.r, b); err != nil {
-			r.Fail(err)
-			return ""
-		}
+	b := r.readN(n)
+	if r.err != nil {
+		return ""
 	}
 	return string(b)
 }

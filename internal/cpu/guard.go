@@ -1,0 +1,19 @@
+package cpu
+
+import "fmt"
+
+// The liveness-probe methods below implement guard.Probe (structurally): the
+// watchdog waits on the core's outstanding loads, stores and fetches. A
+// sleeping or exited core holds none, so it never false-trips the watchdog.
+
+// GuardName identifies the core in watchdog diagnostics.
+func (c *Core) GuardName() string { return c.cfg.Name }
+
+// InFlight reports outstanding memory accesses.
+func (c *Core) InFlight() int { return c.outLoads + c.outStores + c.fetchOutstanding }
+
+// GuardDetail renders the scoreboard occupancy.
+func (c *Core) GuardDetail() string {
+	return fmt.Sprintf("outLoads=%d outStores=%d fetchOutstanding=%d pc=%#x",
+		c.outLoads, c.outStores, c.fetchOutstanding, c.pc)
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"gem5rtl/internal/guard"
 	"gem5rtl/internal/sim"
 )
 
@@ -102,6 +104,13 @@ type Runner struct {
 	Warmup sim.Tick
 	// Ckpts is the snapshot store for warm starts; nil disables them.
 	Ckpts *CheckpointCache
+	// Guard, when non-nil, attaches a liveness watchdog with this
+	// configuration to every cold simulation point, so a hung point
+	// surfaces as a *guard.HangError in Result.Err instead of stalling
+	// the sweep until Limit. Ignored when Run overrides the executor or
+	// the warm-start path is active (watchdog events are host-side and
+	// not snapshot-safe).
+	Guard *guard.Config
 }
 
 // executor resolves the per-point run function: an explicit override, the
@@ -116,7 +125,20 @@ func (r Runner) executor() func(ctx context.Context, spec RunSpec) (sim.Tick, er
 			return RunPointWarm(ctx, spec, warmup, cache)
 		}
 	}
+	if r.Guard != nil {
+		gcfg := *r.Guard
+		return func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
+			return RunPointGuarded(ctx, spec, gcfg)
+		}
+	}
 	return RunPoint
+}
+
+// panicError wraps a recovered panic with the failing work item and the
+// goroutine stack at the recovery point, so a diverging simulation deep in a
+// sweep is diagnosable from Result.Err alone.
+func panicError(what string, p any) error {
+	return fmt.Errorf("experiments: %s panicked: %v\n%s", what, p, debug.Stack())
 }
 
 // poolSize resolves the effective worker count for n queued items.
@@ -188,7 +210,7 @@ func (r Runner) runOne(ctx context.Context, spec RunSpec, cache *baselineCache) 
 	defer func() {
 		if p := recover(); p != nil {
 			res.Ticks, res.Perf = 0, 0
-			res.Err = fmt.Errorf("experiments: %v panicked: %v", spec, p)
+			res.Err = panicError(spec.String(), p)
 		}
 		r.say(&res)
 	}()
@@ -245,7 +267,7 @@ func (r Runner) ForEach(ctx context.Context, n int, fn func(ctx context.Context,
 	runItem := func(i int) (err error) {
 		defer func() {
 			if p := recover(); p != nil {
-				err = fmt.Errorf("experiments: item %d panicked: %v", i, p)
+				err = panicError(fmt.Sprintf("item %d", i), p)
 			}
 		}()
 		return fn(ctx, i)
@@ -306,7 +328,7 @@ func (c *baselineCache) get(ctx context.Context, spec RunSpec) (sim.Tick, time.D
 	e.once.Do(func() {
 		defer func() {
 			if p := recover(); p != nil {
-				e.err = fmt.Errorf("experiments: %v panicked: %v", spec, p)
+				e.err = panicError(spec.String(), p)
 			}
 		}()
 		start := time.Now()

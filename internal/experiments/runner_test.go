@@ -120,6 +120,13 @@ func TestSweepPanicRecovery(t *testing.T) {
 	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked") {
 		t.Fatalf("panic not recovered into Result.Err: %+v", results[1])
 	}
+	// The recovered error carries the panicking goroutine's stack trace and
+	// the failing spec, so a campaign log is debuggable after the fact.
+	if msg := results[1].Err.Error(); !strings.Contains(msg, "goroutine") {
+		t.Fatalf("recovered panic carries no stack trace:\n%s", msg)
+	} else if !strings.Contains(msg, results[1].Spec.String()) {
+		t.Fatalf("recovered panic does not name the failing spec:\n%s", msg)
+	}
 	if results[2].Err != nil || results[2].Ticks != 2000 || results[2].Perf != 0.5 {
 		t.Fatalf("tech result wrong: %+v", results[2])
 	}
@@ -212,6 +219,9 @@ func TestForEachPanicAndOrder(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "item 5 panicked") {
 		t.Fatalf("err = %v, want recovered panic from item 5", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("recovered panic carries no stack trace:\n%s", err)
 	}
 	for i, v := range got {
 		if v != i+1 {

@@ -62,12 +62,12 @@ func TestIdealAndScratchpadRoundTrip(t *testing.T) {
 	q := sim.NewEventQueue()
 	store := NewStorage()
 	im := NewIdealMemory("im", q, store, 500)
-	port.Bind(port.NewRequestPort("r", memSink{}), im.Port())
+	port.BindUnchecked(port.NewRequestPort("r", memSink{}), im.Port())
 	im.RecvTimingReq(port.NewReadPacket(0x40, 64))
 	blob := saveOne(t, im)
 	q2 := sim.NewEventQueue()
 	im2 := NewIdealMemory("im", q2, NewStorage(), 500)
-	port.Bind(port.NewRequestPort("r", memSink{}), im2.Port())
+	port.BindUnchecked(port.NewRequestPort("r", memSink{}), im2.Port())
 	restoreOne(t, im2, blob)
 	if !bytes.Equal(saveOne(t, im2), blob) {
 		t.Error("re-saved ideal memory differs")
@@ -77,11 +77,11 @@ func TestIdealAndScratchpadRoundTrip(t *testing.T) {
 	}
 
 	sp := NewScratchpad(DefaultScratchpadConfig("sp"), q, store)
-	port.Bind(port.NewRequestPort("r", memSink{}), sp.Port())
+	port.BindUnchecked(port.NewRequestPort("r", memSink{}), sp.Port())
 	sp.RecvTimingReq(port.NewWritePacket(0x80, make([]byte, 64)))
 	blob = saveOne(t, sp)
 	sp2 := NewScratchpad(DefaultScratchpadConfig("sp"), sim.NewEventQueue(), NewStorage())
-	port.Bind(port.NewRequestPort("r", memSink{}), sp2.Port())
+	port.BindUnchecked(port.NewRequestPort("r", memSink{}), sp2.Port())
 	restoreOne(t, sp2, blob)
 	if !bytes.Equal(saveOne(t, sp2), blob) {
 		t.Error("re-saved scratchpad differs")
@@ -96,7 +96,7 @@ func buildDRAM(q *sim.EventQueue) (*DRAMCtrl, *Storage) {
 	cfg, _ := ConfigByName("DDR4-1ch")
 	store := NewStorage()
 	d := NewDRAMCtrl(cfg, q, store)
-	port.Bind(port.NewRequestPort("r", memSink{}), d.Port())
+	port.BindUnchecked(port.NewRequestPort("r", memSink{}), d.Port())
 	return d, store
 }
 

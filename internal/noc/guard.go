@@ -1,0 +1,45 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The liveness-probe methods below implement guard.Probe (structurally):
+// the watchdog waits on per-front outstanding transactions and queued
+// packets.
+
+// GuardName identifies the crossbar in watchdog diagnostics.
+func (x *Xbar) GuardName() string { return x.cfg.Name }
+
+// InFlight reports outstanding forwarded requests plus queued packets.
+func (x *Xbar) InFlight() int {
+	n := 0
+	for _, o := range x.outstanding {
+		n += o
+	}
+	for _, rq := range x.respQs {
+		n += rq.Len()
+	}
+	for _, rq := range x.reqQs {
+		n += rq.Len()
+	}
+	return n
+}
+
+// GuardDetail renders per-front occupancy.
+func (x *Xbar) GuardDetail() string {
+	var parts []string
+	for i, o := range x.outstanding {
+		if o == 0 && x.respQs[i].Len() == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("front%d out=%d respQ=%d", i, o, x.respQs[i].Len()))
+	}
+	for i, rq := range x.reqQs {
+		if rq.Len() > 0 {
+			parts = append(parts, fmt.Sprintf("down%d reqQ=%d", i, rq.Len()))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -43,6 +43,10 @@ func SavePacket(w *ckpt.Writer, p *Packet) {
 func LoadPacket(r *ckpt.Reader) *Packet {
 	p := &Packet{}
 	p.ID = r.U64()
+	// A restored packet is pre-checkpoint traffic by definition: move the
+	// checker grandfather line so its remaining handshakes (a response to a
+	// request the fresh checker never saw) are adopted, not flagged.
+	noteRestoredID(p.ID)
 	p.Cmd = Cmd(r.I64())
 	p.Addr = r.U64()
 	p.Size = r.Int()
@@ -153,9 +157,27 @@ func FastForwardPacketID(mark uint64) {
 	for {
 		cur := packetID.Load()
 		if cur >= mark {
-			return
+			break
 		}
 		if packetID.CompareAndSwap(cur, mark) {
+			break
+		}
+	}
+	// A restore also moves the checker grandfather line: packets at or below
+	// the mark were minted before the checkpoint, so a fresh process's
+	// checkers (attached at Bind time, before RestoreState repopulates the
+	// queues) must adopt rather than reject their traffic.
+	noteRestoredID(mark)
+}
+
+// noteRestoredID raises the checker grandfather line to at least id.
+func noteRestoredID(id uint64) {
+	for {
+		cur := restoreMark.Load()
+		if cur >= id {
+			return
+		}
+		if restoreMark.CompareAndSwap(cur, id) {
 			return
 		}
 	}

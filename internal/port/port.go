@@ -62,7 +62,17 @@ func NewResponsePort(name string, r Responder) *ResponsePort {
 }
 
 // Bind connects a request port to a response port. Both must be unbound.
+// When the package-level Checking flag is set, a protocol Checker is
+// interposed on the link (see BindChecked).
 func Bind(req *RequestPort, resp *ResponsePort) {
+	bindRaw(req, resp)
+	if Checking {
+		attachChecker(req, resp)
+	}
+}
+
+// bindRaw links the ports without any checker interposition.
+func bindRaw(req *RequestPort, resp *ResponsePort) {
 	if req.peer != nil || resp.peer != nil {
 		panic(fmt.Sprintf("port: rebinding %s <-> %s", req.name, resp.name))
 	}

@@ -8,6 +8,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Tick is a point in (or span of) simulated time. One Tick is one picosecond,
@@ -206,6 +207,33 @@ func (q *EventQueue) Run() string {
 	for q.Step() {
 	}
 	return q.exitReason
+}
+
+// PendingSummaries returns short one-line descriptions of up to max pending
+// events in dispatch order (all of them when max <= 0). It is a diagnostic
+// introspection hook — the liveness watchdog dumps it when a simulation
+// wedges — and does not disturb the queue.
+func (q *EventQueue) PendingSummaries(max int) []string {
+	evs := make([]*Event, len(q.heap))
+	copy(evs, q.heap)
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.when != b.when {
+			return a.when < b.when
+		}
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		return a.seq < b.seq
+	})
+	if max > 0 && len(evs) > max {
+		evs = evs[:max]
+	}
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = fmt.Sprintf("%s @%d prio=%d", e.name, e.when, e.prio)
+	}
+	return out
 }
 
 // RunUntil dispatches events with tick <= limit. Time advances to limit if

@@ -13,6 +13,7 @@ import (
 
 	"gem5rtl/internal/cache"
 	"gem5rtl/internal/cpu"
+	"gem5rtl/internal/guard"
 	"gem5rtl/internal/isa"
 	"gem5rtl/internal/mem"
 	"gem5rtl/internal/noc"
@@ -83,6 +84,10 @@ type System struct {
 	NVDLAs        []*rtlobject.RTLObject
 	NVDLAWrappers []*nvdla.Wrapper
 	Scratchpads   []*mem.Scratchpad // per-NVDLA, when NVDLAScratchpad is set
+
+	// Watchdog is the liveness monitor installed by AttachWatchdog (nil
+	// otherwise). Its Err is surfaced by RunNVDLAPhase.
+	Watchdog *guard.Watchdog
 
 	Stats *stats.Registry
 }
@@ -409,6 +414,11 @@ func (s *System) RunNVDLAPhase(ctx context.Context, limit sim.Tick) (sim.Tick, i
 	s.Queue.RunUntil(limit)
 	if err := ctx.Err(); err != nil {
 		return 0, remaining, err
+	}
+	if s.Watchdog != nil {
+		if err := s.Watchdog.Err(); err != nil {
+			return s.Queue.Now(), remaining, err
+		}
 	}
 	if remaining > 0 {
 		return s.Queue.Now(), remaining, nil

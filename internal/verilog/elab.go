@@ -2,6 +2,7 @@ package verilog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gem5rtl/internal/rtl"
@@ -289,12 +290,21 @@ func (e *elab) elabAlways(a *AlwaysItem, sc *scope) error {
 	if err := e.walkStmts(a.Body, sc, env, nil, seq, &memws); err != nil {
 		return err
 	}
-	for name, expr := range env {
+	// Emit in sorted target order: env is a map, and the emission order fixes
+	// the circuit's Seqs/Combs layout, which fault injection, checkpoints and
+	// VCD dumps all index. Map order would make two compiles of the same
+	// source disagree on which state bit a given injection pick lands on.
+	targets := make([]string, 0, len(env))
+	for name := range env {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	for _, name := range targets {
 		si := sc.sigs[name]
 		if seq {
-			e.b.Seq(si.id, rtl.Resize(expr, si.width))
+			e.b.Seq(si.id, rtl.Resize(env[name], si.width))
 		} else {
-			e.b.Assign(si.id, rtl.Resize(expr, si.width))
+			e.b.Assign(si.id, rtl.Resize(env[name], si.width))
 		}
 	}
 	if !seq && len(memws) > 0 {

@@ -2,6 +2,7 @@ package vhdl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gem5rtl/internal/rtl"
@@ -229,12 +230,20 @@ func (e *elab) elabProcess(pr *process, sc *scope) error {
 	if err := e.walkStmts(pr.body, sc, env); err != nil {
 		return err
 	}
-	for name, expr := range env {
+	// Sorted emission keeps the circuit's Seqs/Combs layout stable across
+	// compiles of the same source (map order would scramble fault-injection
+	// picks, checkpoint layout and VCD signal order).
+	targets := make([]string, 0, len(env))
+	for name := range env {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	for _, name := range targets {
 		si := sc.sigs[name]
 		if pr.seq {
-			e.b.Seq(si.id, rtl.Resize(expr, si.width))
+			e.b.Seq(si.id, rtl.Resize(env[name], si.width))
 		} else {
-			e.b.Assign(si.id, rtl.Resize(expr, si.width))
+			e.b.Assign(si.id, rtl.Resize(env[name], si.width))
 		}
 	}
 	return nil
