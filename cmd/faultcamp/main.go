@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -38,6 +39,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the whole campaign (0 = none)")
 	checkPorts := flag.Bool("check-ports", false, "also enforce the timing-port protocol during faulted runs")
 	verbose := flag.Bool("v", false, "print watchdog/outcome details per injection")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
 
 	if *checkPorts {
@@ -50,7 +53,24 @@ func main() {
 		defer cancel()
 	}
 
+	if *pprofAddr != "" {
+		stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcamp:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 	r := experiments.Runner{Workers: *parallel}
+	if *hostMetrics != "" {
+		f, err := os.Create(*hostMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcamp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r.Monitor = &obs.HostMonitor{W: f}
+	}
 	limit := sim.Tick(*limitMs) * sim.Millisecond
 	start := time.Now()
 	var results []experiments.FaultResult

@@ -20,10 +20,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/guard"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
@@ -31,6 +33,19 @@ import (
 	"gem5rtl/internal/trace"
 	"gem5rtl/internal/workload"
 )
+
+// outFile resolves an output flag: empty means stderr, anything else is
+// created (the returned closer is a no-op for stderr).
+func outFile(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return os.Stderr, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
 
 func main() {
 	cores := flag.Int("cores", 8, "number of CPU cores")
@@ -50,6 +65,17 @@ func main() {
 	restorePath := flag.String("restore", "", "resume from a checkpoint file; other flags must match the checkpointed configuration")
 	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog: abort with a diagnostic dump instead of idling to the time limit on a hang")
 	checkPorts := flag.Bool("check-ports", false, "enforce the timing-port handshake protocol on every bound link (panics on a violation)")
+	debugFlags := flag.String("debug-flags", "", obs.ParseFlagsHelp())
+	debugStart := flag.Duration("debug-start", 0, "start of the trace window in simulated time")
+	debugEnd := flag.Duration("debug-end", 0, "end of the trace window in simulated time (0 = no end)")
+	debugFile := flag.String("debug-file", "", "write trace lines to this file instead of stderr")
+	statsInterval := flag.Duration("stats-interval", 0, "dump per-interval stat deltas every this much simulated time (0 = off)")
+	statsOut := flag.String("stats-out", "", "interval-stats output file (default stderr)")
+	statsFormat := flag.String("stats-format", "jsonl", "interval-stats format: jsonl or csv")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) of packet lifetimes to this file")
+	latHist := flag.Bool("lat-hist", false, "attach packet-latency taps and report per-link histograms in the stats dump")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
 
 	if *checkPorts {
@@ -73,6 +99,51 @@ func main() {
 	s, err := soc.Build(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		stopPprof, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "# pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *hostMetrics != "" {
+		w, closeW, err := outFile(*hostMetrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeW()
+		mon := &obs.HostMonitor{W: w}
+		mon.Start()
+		defer mon.Stop()
+	}
+
+	// Latency taps must be interposed before a restore: their histograms and
+	// in-flight stamps travel in the checkpoint stream, so a checkpoint
+	// written with -lat-hist/-trace-out must be resumed with the same flags.
+	var chrome *obs.ChromeTrace
+	if *traceOut != "" {
+		chrome = obs.NewChromeTrace()
+	}
+	if *latHist || chrome != nil {
+		s.AttachLatencyProfile(chrome)
+	}
+	if *debugFlags != "" {
+		out, closeOut, err := outFile(*debugFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeOut()
+		if _, err := s.AttachTracer(obs.Config{
+			Flags: *debugFlags,
+			Start: sim.Tick(debugStart.Nanoseconds()) * sim.Nanosecond,
+			End:   sim.Tick(debugEnd.Nanoseconds()) * sim.Nanosecond,
+			Out:   out,
+		}); err != nil {
+			fatal(err)
+		}
 	}
 
 	restoring := *restorePath != ""
@@ -147,6 +218,47 @@ func main() {
 		s.AttachWatchdog(guard.Config{})
 	}
 
+	var dumper *obs.IntervalDumper
+	if *statsInterval > 0 {
+		w, closeW, err := outFile(*statsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeW()
+		d, err := obs.NewIntervalDumper(s.Queue, s.Stats, w,
+			sim.Tick(statsInterval.Nanoseconds())*sim.Nanosecond, *statsFormat)
+		if err != nil {
+			fatal(err)
+		}
+		d.Start()
+		dumper = d
+	}
+	// flushObs drains the host-side observability sinks; run it before a
+	// checkpoint save (the interval event is host-side and not serialisable)
+	// and before the final stats dump.
+	flushObs := func() {
+		if dumper != nil {
+			if err := dumper.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if chrome != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := chrome.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "# %d spans written to %s (open in Perfetto)\n",
+				chrome.Spans(), *traceOut)
+		}
+	}
+
 	limit := sim.Tick(*limitMs) * sim.Millisecond
 	if *ckptAt > 0 {
 		at := sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
@@ -169,6 +281,7 @@ func main() {
 			// The check event is host-side and not serialisable.
 			s.Watchdog.Stop()
 		}
+		flushObs()
 		if err := s.SaveFile(*ckptOut); err != nil {
 			fatal(err)
 		}
@@ -197,6 +310,7 @@ func main() {
 		}
 	}
 
+	flushObs()
 	fmt.Printf("# simulated %.3f ms (%d events)\n",
 		float64(s.Queue.Now())/float64(sim.Millisecond), s.Queue.Dispatched())
 	s.Stats.Dump(os.Stdout)

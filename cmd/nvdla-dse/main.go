@@ -17,6 +17,7 @@ import (
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/guard"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -31,6 +32,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog to every cold point so hangs fail fast with a diagnostic (ignored on warm-start runs)")
 	checkPorts := flag.Bool("check-ports", false, "enforce the timing-port handshake protocol on every bound link (panics on a violation)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
 
 	if *checkPorts {
@@ -44,8 +47,26 @@ func main() {
 		defer cancel()
 	}
 
+	if *pprofAddr != "" {
+		stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+
 	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
 	r := experiments.Runner{Workers: *parallel}
+	if *hostMetrics != "" {
+		f, err := os.Create(*hostMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r.Monitor = &obs.HostMonitor{W: f}
+	}
 	if *ckptAt > 0 {
 		r.Warmup = sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
 		r.Ckpts = experiments.NewCheckpointCache(*ckptDir)

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/sim"
 )
 
@@ -23,6 +24,8 @@ func main() {
 	scale := flag.Int("scale", 8, "NVDLA trace footprint divisor (table 3)")
 	parallel := flag.Int("parallel", 1, "worker goroutines (keep 1 for faithful host times)")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the study (0 = none)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -31,7 +34,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *pprofAddr != "" {
+		stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 	r := experiments.Runner{Workers: *parallel}
+	if *hostMetrics != "" {
+		f, err := os.Create(*hostMetrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r.Monitor = &obs.HostMonitor{W: f}
+	}
 
 	switch *table {
 	case 2:

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/obs"
 )
 
 func main() {
@@ -20,6 +21,8 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 overhead study instead of Figure 5")
 	parallel := flag.Int("parallel", 1, "worker goroutines for -table2 (keep 1 for faithful host times)")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget (0 = none)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -29,9 +32,32 @@ func main() {
 		defer cancel()
 	}
 
+	if *pprofAddr != "" {
+		stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmurun:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	var mon *obs.HostMonitor
+	if *hostMetrics != "" {
+		f, err := os.Create(*hostMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmurun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		mon = &obs.HostMonitor{W: f}
+	}
+
 	if *table2 {
-		runTable2(ctx, *sleepUs, *parallel)
+		runTable2(ctx, *sleepUs, *parallel, mon)
 		return
+	}
+	if mon != nil {
+		mon.Start()
+		defer mon.Stop()
 	}
 
 	p := experiments.Fig5Params{N: *n, SleepUs: *sleepUs, IntervalCycles: *interval}
@@ -52,9 +78,9 @@ func main() {
 	fmt.Printf("# simulated %v ticks in %v host time\n", res.SimTicks, res.HostTime)
 }
 
-func runTable2(ctx context.Context, sleepUs, parallel int) {
+func runTable2(ctx context.Context, sleepUs, parallel int, mon *obs.HostMonitor) {
 	sizes := experiments.DefaultTable2Sizes()
-	cells, err := experiments.Runner{Workers: parallel}.Table2(ctx, sizes, sleepUs)
+	cells, err := experiments.Runner{Workers: parallel, Monitor: mon}.Table2(ctx, sizes, sleepUs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmurun:", err)
 		os.Exit(1)

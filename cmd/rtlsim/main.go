@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/verilog"
 	"gem5rtl/internal/vhdl"
@@ -29,10 +30,18 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
 	ckptPath := flag.String("checkpoint", "", "save model state here after the run")
 	restPath := flag.String("restore", "", "restore model state from here before the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	var sets multiFlag
 	flag.Var(&sets, "set", "drive input: name=value (repeatable)")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 	if flag.NArg() != 1 || *top == "" {
 		fmt.Fprintln(os.Stderr, "usage: rtlsim -top NAME [flags] design.{v,sv,vhd,vhdl}")
 		flag.PrintDefaults()

@@ -10,6 +10,7 @@ package cache
 import (
 	"fmt"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -89,6 +90,9 @@ type Cache struct {
 
 	// OnMiss fires on every demand miss (the PMU's L1D-miss event tap).
 	OnMiss func()
+
+	// trace is the Cache debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
 
 	stats Stats
 }
@@ -173,11 +177,18 @@ func (c *Cache) handleRequest(pkt *port.Packet) bool {
 	blockAddr := port.BlockAddr(pkt.Addr, c.cfg.BlockSize)
 	// Coalesce with an outstanding miss to the same block.
 	if m, ok := c.mshrs[blockAddr]; ok {
+		if c.trace.On() {
+			c.trace.Logf("%s addr=%#x coalesced into MSHR %#x (%d targets)",
+				pkt.Cmd, pkt.Addr, blockAddr, len(m.targets)+1)
+		}
 		m.targets = append(m.targets, pkt)
 		m.isPref = false
 		return true
 	}
 	if ln := c.lookup(pkt.Addr); ln != nil {
+		if c.trace.On() {
+			c.trace.Logf("%s addr=%#x hit", pkt.Cmd, pkt.Addr)
+		}
 		c.stats.Hits++
 		if ln.prefetched {
 			c.stats.PrefHits++
@@ -190,8 +201,14 @@ func (c *Cache) handleRequest(pkt *port.Packet) bool {
 	}
 	// Miss: need an MSHR.
 	if len(c.mshrs) >= c.cfg.MSHRs {
+		if c.trace.On() {
+			c.trace.Logf("%s addr=%#x stalled: all %d MSHRs busy", pkt.Cmd, pkt.Addr, c.cfg.MSHRs)
+		}
 		c.stats.MSHRStalls++
 		return false
+	}
+	if c.trace.On() {
+		c.trace.Logf("%s addr=%#x miss, MSHR %#x allocated", pkt.Cmd, pkt.Addr, blockAddr)
 	}
 	c.stats.Misses++
 	if pkt.Cmd.IsWrite() {
@@ -271,6 +288,9 @@ func (c *Cache) handleFill(pkt *port.Packet) bool {
 		panic(fmt.Sprintf("cache %s: fill for unknown block %#x", c.cfg.Name, blockAddr))
 	}
 	delete(c.mshrs, blockAddr)
+	if c.trace.On() {
+		c.trace.Logf("fill addr=%#x, %d targets", blockAddr, len(m.targets))
+	}
 	ln := c.victim(blockAddr)
 	ln.data = append(ln.data[:0], pkt.Data...)
 	_, ln.tag = c.index(blockAddr)
@@ -309,6 +329,9 @@ func (c *Cache) victim(blockAddr uint64) *line {
 			_, tag := c.index(blockAddr)
 			_ = tag
 			victimAddr := c.addrOf(set, v.tag)
+			if c.trace.On() {
+				c.trace.Logf("writeback victim addr=%#x for fill %#x", victimAddr, blockAddr)
+			}
 			wb := port.NewPacket(port.WritebackDirty, victimAddr, c.cfg.BlockSize)
 			wb.Data = append([]byte(nil), v.data...)
 			c.reqQ.Schedule(wb, c.q.Now())

@@ -1,0 +1,9 @@
+package cache
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the Cache debug flag. The logger is nil when the flag
+// is off, so every trace site below costs one nil check.
+func (c *Cache) AttachTracer(t *obs.Tracer) {
+	c.trace = t.Logger("Cache", c.cfg.Name)
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"gem5rtl/internal/isa"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -116,6 +117,9 @@ type Core struct {
 	// Out receives print syscall output.
 	Out io.Writer
 
+	// trace is the CPU debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
+
 	stats Stats
 }
 
@@ -147,6 +151,9 @@ func New(cfg Config, dom *sim.ClockDomain) *Core {
 
 // wake ends a sleep syscall and restarts the clock.
 func (c *Core) wake() {
+	if c.trace.On() {
+		c.trace.Logf("wake pc=%#x", c.pc)
+	}
 	c.sleeping = false
 	if !c.exited {
 		c.ticker.StartAt(c.dom.ClockEdge(0))
@@ -210,6 +217,9 @@ func (c *Core) cycle(uint64) bool {
 		}
 	}
 	c.stats.Committed += uint64(committed)
+	if committed > 0 && c.trace.On() {
+		c.trace.Logf("cycle %d committed %d pc=%#x", c.dom.CurCycle(), committed, c.pc)
+	}
 	c.commitTap(committed)
 	return !c.exited && !c.sleeping
 }
@@ -463,12 +473,18 @@ func (c *Core) syscall() bool {
 	case isa.SysExit:
 		c.exited = true
 		c.exitCode = int64(a0)
+		if c.trace.On() {
+			c.trace.Logf("exit code=%d after %d insts", c.exitCode, c.stats.Committed)
+		}
 		if c.OnExit != nil {
 			c.OnExit(c.exitCode)
 		}
 		return false
 	case isa.SysSleepUs:
 		dur := sim.Tick(a0) * sim.Microsecond
+		if c.trace.On() {
+			c.trace.Logf("sleep %dus", a0)
+		}
 		c.sleeping = true
 		c.stats.SleepCycles += c.dom.TicksToCycles(dur)
 		c.q.Schedule(c.wakeEv, c.q.Now()+dur)

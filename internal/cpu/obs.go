@@ -1,0 +1,8 @@
+package cpu
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the CPU debug flag (nil logger = off).
+func (c *Core) AttachTracer(t *obs.Tracer) {
+	c.trace = t.Logger("CPU", c.cfg.Name)
+}

@@ -9,6 +9,7 @@ import (
 
 	"gem5rtl/internal/guard"
 	"gem5rtl/internal/nvdla"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
@@ -30,7 +31,9 @@ func RunPointGuarded(ctx context.Context, spec RunSpec, gcfg guard.Config) (sim.
 	}
 	wd := s.AttachWatchdog(gcfg)
 	defer wd.Stop()
-	return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+	done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+	obs.CountEvents(s.Queue.Dispatched())
+	return done, err
 }
 
 // FaultCampaign configures a seeded NVDLA fault-injection campaign: Count

@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
@@ -362,6 +363,7 @@ func runSortOnce(ctx context.Context, n, sleepUs int, withPMU, waveform bool) (t
 	watchStop := s.Queue.WatchContext(ctx, 0)
 	defer watchStop()
 	s.Queue.RunUntil(sim.MaxTick)
+	obs.CountEvents(s.Queue.Dispatched())
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}

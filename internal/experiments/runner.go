@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gem5rtl/internal/guard"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/sim"
 )
 
@@ -78,7 +79,9 @@ func RunPoint(ctx context.Context, spec RunSpec) (sim.Tick, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+	done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+	obs.CountEvents(s.Queue.Dispatched())
+	return done, err
 }
 
 // Runner executes sweeps of independent simulation points on a worker pool.
@@ -111,6 +114,10 @@ type Runner struct {
 	// the warm-start path is active (watchdog events are host-side and
 	// not snapshot-safe).
 	Guard *guard.Config
+	// Monitor, when non-nil, samples host runtime metrics (wall time,
+	// goroutines, heap, aggregate simulated events/sec) for the duration of
+	// each Sweep or ForEach. The caller owns the monitor's output writer.
+	Monitor *obs.HostMonitor
 }
 
 // executor resolves the per-point run function: an explicit override, the
@@ -172,6 +179,10 @@ func (r Runner) Sweep(ctx context.Context, specs []RunSpec) ([]Result, error) {
 		ctx = context.Background()
 	}
 	run := r.executor()
+	if r.Monitor != nil {
+		r.Monitor.Start()
+		defer r.Monitor.Stop()
+	}
 	results := make([]Result, len(specs))
 	cache := &baselineCache{run: run, entries: map[RunSpec]*baselineEntry{}}
 	idx := make(chan int)
@@ -262,6 +273,10 @@ func (r Runner) say(res *Result) {
 func (r Runner) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if r.Monitor != nil {
+		r.Monitor.Start()
+		defer r.Monitor.Stop()
 	}
 	errs := make([]error, n)
 	runItem := func(i int) (err error) {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
 )
@@ -181,7 +182,9 @@ func RunPointWarm(ctx context.Context, spec RunSpec, warmup sim.Tick, cache *Che
 			return 0, err
 		}
 		if _, err := s.Restore(bytes.NewReader(blob)); err == nil {
-			return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+			done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+			obs.CountEvents(s.Queue.Dispatched())
+			return done, err
 		}
 		cache.drop(spec, warmup)
 	}
@@ -202,5 +205,7 @@ func RunPointWarm(ctx context.Context, spec RunSpec, warmup sim.Tick, cache *Che
 		return 0, fmt.Errorf("experiments: warm-start snapshot for %v: %w", spec, err)
 	}
 	cache.store(spec, warmup, buf.Bytes())
-	return s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+	total, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
+	obs.CountEvents(s.Queue.Dispatched())
+	return total, err
 }

@@ -61,6 +61,10 @@ const (
 	DefaultMaxDumpEvents = 16
 )
 
+// TraceTailLines is how many recent trace lines per tripped component a
+// HangError diagnostic includes when a trace-tail source is wired.
+const TraceTailLines = 8
+
 // HangError is the structured diagnostic produced when the watchdog trips.
 type HangError struct {
 	// Tick is the simulated time of the trip.
@@ -99,6 +103,10 @@ type Watchdog struct {
 	probes   []Probe
 	progress []progressSrc
 
+	// traceTail, when set, supplies the last trace lines recorded for a
+	// component (see SetTraceTail); trips include them in the diagnostic.
+	traceTail func(component string, n int) []string
+
 	last      uint64
 	lastValid bool
 	stalls    int
@@ -126,6 +134,14 @@ func NewWatchdog(q *sim.EventQueue, cfg Config) *Watchdog {
 // Watch registers components whose in-flight work the watchdog tracks.
 func (w *Watchdog) Watch(probes ...Probe) {
 	w.probes = append(w.probes, probes...)
+}
+
+// SetTraceTail wires a trace-line source (typically obs.Tracer.Tail): on a
+// trip, the diagnostic then includes the last trace lines of every tripped
+// component, so a hang report ships its own context. The watchdog keeps
+// working without one — the guard package stays decoupled from tracing.
+func (w *Watchdog) SetTraceTail(tail func(component string, n int) []string) {
+	w.traceTail = tail
 }
 
 // AddProgress registers a monotonic forward-progress counter (retired
@@ -214,6 +230,12 @@ func (w *Watchdog) trip(reason string) {
 			continue
 		}
 		fmt.Fprintf(&b, "  %-24s %d  %s\n", p.GuardName(), n, p.GuardDetail())
+		if w.traceTail == nil {
+			continue
+		}
+		for _, line := range w.traceTail(p.GuardName(), TraceTailLines) {
+			fmt.Fprintf(&b, "    | %s\n", line)
+		}
 	}
 	pending := w.q.PendingSummaries(w.cfg.MaxDumpEvents)
 	fmt.Fprintf(&b, "pending events (%d total, first %d):\n", w.q.Pending(), len(pending))

@@ -184,3 +184,33 @@ func TestOutcomeAndKindStrings(t *testing.T) {
 		t.Fatal("FaultKind strings changed")
 	}
 }
+
+// A tripped watchdog with a trace-tail source includes each tripped
+// component's recent trace lines in the diagnostic — the last thing the
+// component logged before the hang.
+func TestHangDiagnosticIncludesTraceTail(t *testing.T) {
+	q := sim.NewEventQueue()
+	wd := NewWatchdog(q, Config{})
+	wd.Watch(&fakeProbe{name: "stuck.cache", n: 2})
+	wd.Watch(&fakeProbe{name: "fine.xbar", n: 0})
+	wd.SetTraceTail(func(component string, n int) []string {
+		if component != "stuck.cache" {
+			t.Errorf("tail queried for untripped component %q", component)
+			return nil
+		}
+		if n != TraceTailLines {
+			t.Errorf("tail depth %d, want %d", n, TraceTailLines)
+		}
+		return []string{"100: stuck.cache: miss addr=0x40", "200: stuck.cache: MSHR full"}
+	})
+	wd.Start()
+	q.RunUntil(sim.Second)
+	var hang *HangError
+	if !errors.As(wd.Err(), &hang) {
+		t.Fatalf("expected a trip, got %v", wd.Err())
+	}
+	if !strings.Contains(hang.Diagnostic, "| 100: stuck.cache: miss addr=0x40") ||
+		!strings.Contains(hang.Diagnostic, "| 200: stuck.cache: MSHR full") {
+		t.Fatalf("diagnostic missing trace tail:\n%s", hang.Diagnostic)
+	}
+}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -24,6 +25,9 @@ type DRAMCtrl struct {
 	// entry owns its completion event, so in-flight reads are explicit state
 	// (checkpointable) rather than anonymous closures on the event queue.
 	pendingReads []*dramPendingRead
+
+	// trace is the Mem debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
 
 	stats DRAMStats
 }
@@ -145,6 +149,9 @@ func (d *DRAMCtrl) RecvTimingReq(pkt *port.Packet) bool {
 	chIdx, bank, row := d.route(pkt.Addr)
 	ch := d.chans[chIdx]
 	req := &dramRequest{pkt: pkt, bank: bank, row: row, arrived: d.q.Now()}
+	if d.trace.On() {
+		d.trace.Logf("%s addr=%#x ch=%d bank=%d row=%#x", pkt.Cmd, pkt.Addr, chIdx, bank, row)
+	}
 	if pkt.Cmd.IsWrite() {
 		if len(ch.writeQ) >= d.cfg.WriteQueueDepth {
 			return false
@@ -323,6 +330,9 @@ func (d *DRAMCtrl) readDone(pr *dramPendingRead) {
 	d.store.Read(pkt.Addr, pkt.Data)
 	d.stats.TotalRdLat += d.q.Now() - pr.arrived
 	d.stats.RetiredRds++
+	if d.trace.On() {
+		d.trace.Logf("read done addr=%#x latency=%d", pkt.Addr, uint64(d.q.Now()-pr.arrived))
+	}
 	d.rq.Schedule(pkt, d.q.Now())
 }
 

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -18,6 +19,9 @@ type IdealMemory struct {
 
 	Reads  uint64
 	Writes uint64
+
+	// trace is the Mem debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
 }
 
 // NewIdealMemory creates an ideal memory with the given fixed latency
@@ -34,6 +38,9 @@ func (m *IdealMemory) Port() *port.ResponsePort { return m.prt }
 
 // RecvTimingReq implements port.Responder; it never refuses.
 func (m *IdealMemory) RecvTimingReq(pkt *port.Packet) bool {
+	if m.trace.On() {
+		m.trace.Logf("%s addr=%#x size=%d", pkt.Cmd, pkt.Addr, pkt.Size)
+	}
 	if pkt.Cmd.IsWrite() {
 		m.Writes++
 		m.store.Write(pkt.Addr, pkt.Data)

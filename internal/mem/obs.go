@@ -1,0 +1,18 @@
+package mem
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the Mem debug flag (nil logger = off).
+func (d *DRAMCtrl) AttachTracer(t *obs.Tracer) {
+	d.trace = t.Logger("Mem", d.cfg.Name)
+}
+
+// AttachTracer wires the Mem debug flag (nil logger = off).
+func (m *IdealMemory) AttachTracer(t *obs.Tracer) {
+	m.trace = t.Logger("Mem", m.prt.Name())
+}
+
+// AttachTracer wires the Mem debug flag (nil logger = off).
+func (s *Scratchpad) AttachTracer(t *obs.Tracer) {
+	s.trace = t.Logger("Mem", s.prt.Name())
+}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -23,6 +24,9 @@ type Scratchpad struct {
 	Reads  uint64
 	Writes uint64
 	Bytes  uint64
+
+	// trace is the Mem debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
 }
 
 // ScratchpadConfig sizes a scratchpad.
@@ -62,6 +66,9 @@ func (s *Scratchpad) RecvTimingReq(pkt *port.Packet) bool {
 	}
 	s.busFreeAt = start + occupancy
 	done := start + occupancy + s.latency
+	if s.trace.On() {
+		s.trace.Logf("%s addr=%#x size=%d done=%d", pkt.Cmd, pkt.Addr, pkt.Size, uint64(done))
+	}
 	s.Bytes += uint64(pkt.Size)
 	if pkt.Cmd.IsWrite() {
 		s.Writes++

@@ -1,0 +1,8 @@
+package noc
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the NoC debug flag (nil logger = off).
+func (x *Xbar) AttachTracer(t *obs.Tracer) {
+	x.trace = t.Logger("NoC", x.cfg.Name)
+}

@@ -10,6 +10,7 @@ package noc
 import (
 	"fmt"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -56,6 +57,9 @@ type Xbar struct {
 
 	Forwarded uint64
 	Responses uint64
+
+	// trace is the NoC debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
 }
 
 // New creates a crossbar with nFront upstream ports and nDown downstream
@@ -148,9 +152,16 @@ type xbarFront struct {
 func (f *xbarFront) RecvTimingReq(pkt *port.Packet) bool {
 	x := f.x
 	if x.outstanding[f.i] >= x.cfg.MaxOutstanding {
+		if x.trace.On() {
+			x.trace.Logf("front[%d] %s addr=%#x refused: %d outstanding",
+				f.i, pkt.Cmd, pkt.Addr, x.outstanding[f.i])
+		}
 		return false
 	}
 	down := x.route(pkt.Addr)
+	if x.trace.On() {
+		x.trace.Logf("front[%d] %s addr=%#x -> down[%d]", f.i, pkt.Cmd, pkt.Addr, down)
+	}
 	if pkt.NeedsResponse() {
 		pkt.PushSenderState(&frontState{front: f.i})
 		x.outstanding[f.i]++
@@ -176,6 +187,9 @@ func (d *xbarDown) RecvTimingResp(pkt *port.Packet) bool {
 	st := pkt.PopSenderState().(*frontState)
 	x.outstanding[st.front]--
 	x.Responses++
+	if x.trace.On() {
+		x.trace.Logf("down[%d] %s addr=%#x -> front[%d]", d.i, pkt.Cmd, pkt.Addr, st.front)
+	}
 	payload := 0
 	if pkt.Cmd.IsRead() {
 		payload = pkt.Size

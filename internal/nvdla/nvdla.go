@@ -16,6 +16,7 @@ package nvdla
 import (
 	"fmt"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/rtlobject"
 )
 
@@ -119,6 +120,10 @@ type Wrapper struct {
 	writesOut   int
 	pendWrites  []rtlobject.MemRequest
 
+	// trace is the NVDLA debug-flag logger (nil = off; see AttachTracer).
+	// It is preserved across Reset.
+	trace *obs.Logger
+
 	stats Stats
 }
 
@@ -144,7 +149,7 @@ func (w *Wrapper) Done() bool { return w.done }
 
 // Reset implements rtlobject.Wrapper.
 func (w *Wrapper) Reset() {
-	*w = Wrapper{cfg: w.cfg, readTile: map[uint64]int{}}
+	*w = Wrapper{cfg: w.cfg, readTile: map[uint64]int{}, trace: w.trace}
 }
 
 // WriteReg applies a CSB register write (also reachable via CPU-side port
@@ -238,6 +243,10 @@ func (w *Wrapper) beginLayer() {
 	w.inEnd = l.inAddr + uint64(l.inBytes)
 	w.wtEnd = l.wtAddr + uint64(l.wtBytes)
 	w.outCur = l.outAddr
+	if w.trace.On() {
+		w.trace.Logf("layer %d begin: %d tiles, in=%d wt=%d out=%d bytes",
+			w.layerIdx, len(w.tiles), l.inBytes, l.wtBytes, l.outBytes)
+	}
 }
 
 // Tick implements rtlobject.Wrapper: one 1 GHz accelerator cycle.
@@ -331,6 +340,9 @@ func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
 	// Layer / workload completion.
 	if w.computeTile >= len(w.tiles) && len(w.pendWrites) == 0 && w.writesOut == 0 {
 		w.stats.LayersDone++
+		if w.trace.On() {
+			w.trace.Logf("layer %d done (%d tiles)", w.layerIdx, w.stats.TilesDone)
+		}
 		w.layerIdx++
 		if w.layerIdx < len(w.layers) {
 			w.beginLayer()
@@ -338,6 +350,9 @@ func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
 			w.running = false
 			w.done = true
 			w.irq = true
+			if w.trace.On() {
+				w.trace.Logf("workload done: %d layers, irq raised", len(w.layers))
+			}
 		}
 	}
 	out.Interrupt = w.irq
@@ -374,6 +389,9 @@ func (w *Wrapper) nextRead(tile int) (rtlobject.MemRequest, bool) {
 // The last tile carries any remainder so the whole OutBytes is written.
 func (w *Wrapper) finishTile(out *rtlobject.Output) {
 	w.stats.TilesDone++
+	if w.trace.On() {
+		w.trace.Logf("tile %d/%d done", w.computeTile+1, len(w.tiles))
+	}
 	outBytes := w.outPerTile
 	if w.computeTile == len(w.tiles)-1 {
 		outBytes = int(w.layers[w.layerIdx].outBytes) - w.outPerTile*(len(w.tiles)-1)

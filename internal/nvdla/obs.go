@@ -1,0 +1,11 @@
+package nvdla
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the NVDLA debug flag (nil logger = off). The logger
+// survives Reset (which rebuilds the execution state wholesale). The
+// component name matches GuardName so watchdog hang diagnostics can pull
+// this model's trace tail.
+func (w *Wrapper) AttachTracer(t *obs.Tracer) {
+	w.trace = t.Logger("NVDLA", w.cfg.Name+".model")
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"gem5rtl/internal/sim"
+)
+
+// DefaultMaxSpans caps the number of spans a ChromeTrace retains; beyond it
+// spans are counted but dropped, bounding memory on long runs.
+const DefaultMaxSpans = 1 << 20
+
+// ChromeTrace collects packet spans and emits them as Chrome trace-event
+// JSON ("Trace Event Format", ph="X" complete events), viewable in
+// chrome://tracing or Perfetto. Each tap becomes one named track (a tid in
+// a single process); ts/dur are microseconds, so one tick (1 ps) maps to
+// 1e-6 us.
+type ChromeTrace struct {
+	spans []chromeSpan
+	tids  map[string]int
+	order []string
+	// MaxSpans bounds retained spans (0 = DefaultMaxSpans).
+	MaxSpans int
+	// Dropped counts spans discarded after MaxSpans was reached.
+	Dropped uint64
+}
+
+type chromeSpan struct {
+	track string
+	name  string
+	addr  uint64
+	start sim.Tick
+	end   sim.Tick
+}
+
+// NewChromeTrace creates an empty trace collector.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{tids: map[string]int{}}
+}
+
+// Span records one completed interval on a track. Tracks are assigned tids
+// in first-seen order (deterministic under a deterministic simulation).
+func (c *ChromeTrace) Span(track, name string, addr uint64, start, end sim.Tick) {
+	max := c.MaxSpans
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	if len(c.spans) >= max {
+		c.Dropped++
+		return
+	}
+	if _, ok := c.tids[track]; !ok {
+		c.tids[track] = len(c.order) + 1
+		c.order = append(c.order, track)
+	}
+	c.spans = append(c.spans, chromeSpan{track: track, name: name, addr: addr, start: start, end: end})
+}
+
+// Spans returns the number of retained spans.
+func (c *ChromeTrace) Spans() int { return len(c.spans) }
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteJSON emits the collected spans as a Chrome trace-event JSON object.
+func (c *ChromeTrace) WriteJSON(w io.Writer) error {
+	const pid = 1
+	events := make([]chromeEvent, 0, len(c.spans)+len(c.order))
+	// Thread-name metadata first: one track per tap, in first-seen order.
+	for _, track := range c.order {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: c.tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	for _, s := range c.spans {
+		ts := float64(s.start) / 1e6 // ps -> us
+		dur := float64(s.end-s.start) / 1e6
+		events = append(events, chromeEvent{
+			Name: s.name, Ph: "X", Ts: ts, Dur: &dur, Pid: pid, Tid: c.tids[s.track],
+			Args: map[string]any{"addr": s.addr},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeTraceJSON(t *testing.T) {
+	c := NewChromeTrace()
+	c.Span("llc.in", "ReadReq", 0x1000, 100_000, 350_000)
+	c.Span("mem.in", "WriteReq", 0x2000, 200_000, 400_000)
+	c.Span("llc.in", "ReadReq", 0x1040, 500_000, 600_000)
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	// Two thread_name metadata events then three spans.
+	if len(got.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(got.TraceEvents))
+	}
+	meta := got.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "llc.in" {
+		t.Fatalf("first metadata event = %+v", meta)
+	}
+	span := got.TraceEvents[2]
+	if span.Ph != "X" || span.Name != "ReadReq" {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Ts != 0.1 || span.Dur != 0.25 { // 100000 ps = 0.1 us
+		t.Fatalf("ts=%v dur=%v, want 0.1/0.25", span.Ts, span.Dur)
+	}
+	// Same track, same tid; different track, different tid.
+	if got.TraceEvents[2].Tid != got.TraceEvents[4].Tid {
+		t.Fatal("same track got different tids")
+	}
+	if got.TraceEvents[2].Tid == got.TraceEvents[3].Tid {
+		t.Fatal("different tracks share a tid")
+	}
+}
+
+func TestChromeTraceSpanCap(t *testing.T) {
+	c := NewChromeTrace()
+	c.MaxSpans = 2
+	for i := 0; i < 5; i++ {
+		c.Span("t", "x", 0, 0, 1)
+	}
+	if c.Spans() != 2 || c.Dropped != 3 {
+		t.Fatalf("spans=%d dropped=%d, want 2/3", c.Spans(), c.Dropped)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math/bits"
+
+	"gem5rtl/internal/ckpt"
+)
+
+// histBuckets is the number of log-2 buckets: bucket i counts values v with
+// bits.Len64(v) == i, i.e. bucket 0 holds v == 0 and bucket i (i >= 1) holds
+// the range [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram is a log-2 bucketed latency histogram. Buckets are mergeable
+// across systems (parallel sweep points) and the whole struct round-trips
+// bit-identically through a checkpoint.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	n       uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Merge folds other into h (for cross-system aggregation).
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Bucket returns the count in log-2 bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100]):
+// the top of the bucket containing that rank. Log-2 bucketing bounds the
+// answer within 2x, which is enough for latency distribution shape.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// SaveState implements ckpt.Checkpointable.
+func (h *Histogram) SaveState(w *ckpt.Writer) error {
+	w.Section("obs.hist")
+	w.U64(h.n)
+	w.U64(h.sum)
+	w.U64(h.min)
+	w.U64(h.max)
+	for _, b := range h.buckets {
+		w.U64(b)
+	}
+	return w.Err()
+}
+
+// RestoreState implements ckpt.Checkpointable.
+func (h *Histogram) RestoreState(r *ckpt.Reader) error {
+	r.Section("obs.hist")
+	h.n = r.U64()
+	h.sum = r.U64()
+	h.min = r.U64()
+	h.max = r.U64()
+	for i := range h.buckets {
+		h.buckets[i] = r.U64()
+	}
+	return r.Err()
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"gem5rtl/internal/ckpt"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got < 184 || got > 185 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Bucket i holds [2^(i-1), 2^i): 0 -> bucket 0, 1 -> 1, 2,3 -> 2,
+	// 100 -> 7, 1000 -> 10.
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 7: 1, 10: 1} {
+		if h.Bucket(i) != want {
+			t.Fatalf("bucket[%d] = %d, want %d", i, h.Bucket(i), want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(10) // bucket 4, upper bound 15
+	}
+	h.Observe(1 << 20) // one outlier
+	if p50 := h.Percentile(50); p50 != 15 {
+		t.Fatalf("p50 = %d, want 15", p50)
+	}
+	p999 := h.Percentile(99.9)
+	if p999 < 1<<20 {
+		t.Fatalf("p99.9 = %d, want >= outlier", p999)
+	}
+}
+
+func TestHistogramMergeEqualsCombinedObservation(t *testing.T) {
+	var a, b, all Histogram
+	for i := uint64(0); i < 100; i++ {
+		v := i * i % 977
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatalf("merged %+v != combined %+v", a, all)
+	}
+	var empty Histogram
+	a.Merge(&empty) // merging an empty histogram must not disturb min
+	if a != all {
+		t.Fatal("merging empty changed the histogram")
+	}
+}
+
+// TestHistogramCheckpointRoundTrip is satellite 3's first property: the
+// histogram survives a save/restore bit-identically — restoring and saving
+// again yields the exact same byte stream.
+func TestHistogramCheckpointRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i < 1000; i += 7 {
+		h.Observe(i * 13)
+	}
+	var first bytes.Buffer
+	w := ckpt.NewWriter(&first)
+	if err := h.SaveState(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var back Histogram
+	if err := back.RestoreState(ckpt.NewReader(bytes.NewReader(first.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("restored %+v != saved %+v", back, h)
+	}
+
+	var second bytes.Buffer
+	w2 := ckpt.NewWriter(&second)
+	if err := back.SaveState(w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("checkpoint round-trip is not bit-identical")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHostEventsCounter(t *testing.T) {
+	before := HostEvents()
+	CountEvents(5)
+	CountEvents(7)
+	if got := HostEvents() - before; got != 12 {
+		t.Fatalf("counted %d, want 12", got)
+	}
+}
+
+// syncBuffer makes a bytes.Buffer safe for the monitor goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func TestHostMonitorEmitsValidSamples(t *testing.T) {
+	var buf syncBuffer
+	m := &HostMonitor{Interval: time.Hour, W: &buf} // Stop() forces a final sample
+	m.Start()
+	CountEvents(100)
+	m.Stop()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	samples := 0
+	for sc.Scan() {
+		var s struct {
+			WallMs     float64 `json:"wall_ms"`
+			Goroutines int     `json:"goroutines"`
+			HeapBytes  uint64  `json:"heap_bytes"`
+			Events     uint64  `json:"events"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("sample is not valid JSON: %v (%s)", err, sc.Text())
+		}
+		if s.Goroutines <= 0 || s.HeapBytes == 0 {
+			t.Fatalf("implausible sample %+v", s)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples emitted")
+	}
+	m.Stop() // double Stop must be safe
+}
+
+func TestStartPprofServes(t *testing.T) {
+	stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer stop()
+}
+
+// TestStartPprofBadAddr exercises the error path without binding anything.
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := StartPprof("definitely-not-an-addr"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	_ = http.DefaultServeMux // pprof must not touch the default mux
+}

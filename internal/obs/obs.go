@@ -1,0 +1,224 @@
+// Package obs is the observability layer: gem5-style debug-flag tracing,
+// packet-lifetime latency histograms, interval statistics time-series, and
+// host-side exporters (Chrome trace-event JSON, pprof, runtime metrics).
+//
+// The design rule throughout is zero cost when off. A component holds a
+// *Logger per debug flag; when the flag is disabled (or no Tracer is
+// attached at all) that pointer is nil, and the guard `if l.On()` compiles
+// to a nil check — the fmt arguments are never evaluated. This mirrors how
+// gem5's DPRINTF vanishes behind `if (DTRACE(flag))`.
+//
+// All state is per-System (a Tracer/LatencyProfile belongs to one
+// EventQueue), never global, so the parallel experiment runner can trace one
+// point of a sweep while its siblings run untraced on other goroutines.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gem5rtl/internal/sim"
+)
+
+// Flags understood by the tracer, mirroring gem5's debug-flag namespace.
+// "all" enables every one of them.
+var Flags = []string{"Cache", "CPU", "Mem", "NVDLA", "NoC", "PMU", "Port", "RTL"}
+
+// Config selects what a Tracer records and where it writes.
+type Config struct {
+	// Flags is a comma-separated list of debug flags ("Cache,NVDLA"), or
+	// "all". Empty disables tracing entirely.
+	Flags string
+	// Start/End bound the trace window in ticks. End == 0 means no end.
+	Start sim.Tick
+	End   sim.Tick
+	// Out receives trace lines; nil keeps only the per-component ring
+	// buffers (still useful for watchdog diagnostics).
+	Out io.Writer
+	// RingSize is the number of recent lines retained per component for
+	// hang diagnostics. 0 means DefaultRingSize.
+	RingSize int
+}
+
+// DefaultRingSize is the per-component trace-tail depth kept for
+// watchdog diagnostics.
+const DefaultRingSize = 16
+
+// Tracer is the per-System debug trace sink. A nil *Tracer is valid and
+// means tracing is off; Logger on a nil Tracer returns a nil *Logger.
+type Tracer struct {
+	q        *sim.EventQueue
+	out      io.Writer
+	all      bool
+	flags    map[string]bool
+	start    sim.Tick
+	end      sim.Tick
+	ringSize int
+	rings    map[string]*ring
+	order    []string // component first-seen order, for deterministic dumps
+}
+
+// NewTracer builds a tracer for the given queue. Unknown flag names are an
+// error so a typo in -debug-flags fails loudly instead of tracing nothing.
+func NewTracer(q *sim.EventQueue, cfg Config) (*Tracer, error) {
+	t := &Tracer{
+		q:        q,
+		out:      cfg.Out,
+		flags:    map[string]bool{},
+		start:    cfg.Start,
+		end:      cfg.End,
+		ringSize: cfg.RingSize,
+		rings:    map[string]*ring{},
+	}
+	if t.ringSize <= 0 {
+		t.ringSize = DefaultRingSize
+	}
+	known := map[string]bool{}
+	for _, f := range Flags {
+		known[f] = true
+	}
+	for _, f := range strings.Split(cfg.Flags, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if strings.EqualFold(f, "all") {
+			t.all = true
+			continue
+		}
+		if !known[f] {
+			return nil, fmt.Errorf("obs: unknown debug flag %q (have %s, or all)",
+				f, strings.Join(Flags, ","))
+		}
+		t.flags[f] = true
+	}
+	return t, nil
+}
+
+// Enabled reports whether a debug flag is selected.
+func (t *Tracer) Enabled(flag string) bool {
+	if t == nil {
+		return false
+	}
+	return t.all || t.flags[flag]
+}
+
+// Logger returns the component's logger for one debug flag, or nil when the
+// flag is disabled — making every downstream trace guard a nil check.
+func (t *Tracer) Logger(flag, component string) *Logger {
+	if !t.Enabled(flag) {
+		return nil
+	}
+	return &Logger{t: t, component: component}
+}
+
+// Tail returns up to n of the most recent trace lines recorded for a
+// component (oldest first). It backs watchdog hang diagnostics.
+func (t *Tracer) Tail(component string, n int) []string {
+	if t == nil {
+		return nil
+	}
+	r := t.rings[component]
+	if r == nil {
+		return nil
+	}
+	return r.tail(n)
+}
+
+// Components returns every component that has emitted at least one trace
+// line, in first-emission order.
+func (t *Tracer) Components() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.order...)
+}
+
+func (t *Tracer) record(component, line string) {
+	r := t.rings[component]
+	if r == nil {
+		r = newRing(t.ringSize)
+		t.rings[component] = r
+		t.order = append(t.order, component)
+	}
+	r.push(line)
+}
+
+// Logger emits trace lines for one (flag, component) pair. The zero value of
+// the pointer — nil — is the disabled state; both On and Logf are safe to
+// call on it.
+type Logger struct {
+	t         *Tracer
+	component string
+}
+
+// On reports whether a line emitted now would be recorded. Use it to guard
+// argument evaluation: `if l.On() { l.Logf(...) }`.
+func (l *Logger) On() bool {
+	if l == nil {
+		return false
+	}
+	now := l.t.q.Now()
+	if now < l.t.start {
+		return false
+	}
+	if l.t.end != 0 && now > l.t.end {
+		return false
+	}
+	return true
+}
+
+// Logf emits one `tick: component: msg` line, gem5 DPRINTF style.
+func (l *Logger) Logf(format string, args ...any) {
+	if !l.On() {
+		return
+	}
+	line := fmt.Sprintf("%d: %s: %s", uint64(l.t.q.Now()), l.component,
+		fmt.Sprintf(format, args...))
+	if l.t.out != nil {
+		fmt.Fprintln(l.t.out, line)
+	}
+	l.t.record(l.component, line)
+}
+
+// ring is a fixed-capacity circular buffer of trace lines.
+type ring struct {
+	lines []string
+	next  int
+	full  bool
+}
+
+func newRing(n int) *ring { return &ring{lines: make([]string, n)} }
+
+func (r *ring) push(s string) {
+	r.lines[r.next] = s
+	r.next++
+	if r.next == len(r.lines) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *ring) tail(n int) []string {
+	var out []string
+	if r.full {
+		out = append(out, r.lines[r.next:]...)
+		out = append(out, r.lines[:r.next]...)
+	} else {
+		out = append(out, r.lines[:r.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// ParseFlagsHelp returns a one-line usage string for -debug-flags.
+func ParseFlagsHelp() string {
+	s := make([]string, len(Flags))
+	copy(s, Flags)
+	sort.Strings(s)
+	return "comma-separated debug flags (" + strings.Join(s, ",") + ") or all"
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gem5rtl/internal/sim"
+)
+
+func TestTracerUnknownFlagErrors(t *testing.T) {
+	q := sim.NewEventQueue()
+	if _, err := NewTracer(q, Config{Flags: "Cache,Bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestTracerFlagSelection(t *testing.T) {
+	q := sim.NewEventQueue()
+	tr, err := NewTracer(q, Config{Flags: "Cache, NoC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Enabled("Cache") || !tr.Enabled("NoC") {
+		t.Fatal("selected flags not enabled")
+	}
+	if tr.Enabled("CPU") {
+		t.Fatal("unselected flag enabled")
+	}
+	if l := tr.Logger("CPU", "cpu0"); l != nil {
+		t.Fatal("logger for disabled flag is not nil")
+	}
+	if l := tr.Logger("Cache", "cpu0.l1d"); l == nil {
+		t.Fatal("logger for enabled flag is nil")
+	}
+}
+
+func TestTracerAllEnablesEveryFlag(t *testing.T) {
+	q := sim.NewEventQueue()
+	tr, err := NewTracer(q, Config{Flags: "ALL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Flags {
+		if !tr.Enabled(f) {
+			t.Fatalf("all did not enable %s", f)
+		}
+	}
+}
+
+func TestNilTracerAndLoggerAreOff(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled("Cache") {
+		t.Fatal("nil tracer enabled")
+	}
+	if tr.Tail("x", 4) != nil {
+		t.Fatal("nil tracer has a tail")
+	}
+	var l *Logger
+	if l.On() {
+		t.Fatal("nil logger on")
+	}
+	l.Logf("must not panic %d", 1)
+}
+
+func TestLoggerLineFormat(t *testing.T) {
+	q := sim.NewEventQueue()
+	var buf bytes.Buffer
+	tr, err := NewTracer(q, Config{Flags: "Cache", Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tr.Logger("Cache", "cpu0.l1d")
+	q.ScheduleFunc("emit", 1234, func() { l.Logf("miss addr=%#x", 0x40) })
+	q.Run()
+	want := "1234: cpu0.l1d: miss addr=0x40\n"
+	if buf.String() != want {
+		t.Fatalf("line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTraceWindow(t *testing.T) {
+	q := sim.NewEventQueue()
+	var buf bytes.Buffer
+	tr, err := NewTracer(q, Config{Flags: "Cache", Out: &buf, Start: 100, End: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tr.Logger("Cache", "c")
+	for _, tk := range []sim.Tick{50, 100, 150, 200, 250} {
+		tk := tk
+		q.ScheduleFunc("emit", tk, func() { l.Logf("at %d", uint64(tk)) })
+	}
+	q.Run()
+	out := buf.String()
+	for _, want := range []string{"100: c: at 100", "150: c: at 150", "200: c: at 200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("window missing %q:\n%s", want, out)
+		}
+	}
+	for _, not := range []string{"at 50", "at 250"} {
+		if strings.Contains(out, not) {
+			t.Fatalf("line outside window emitted (%s):\n%s", not, out)
+		}
+	}
+}
+
+func TestRingTailKeepsMostRecent(t *testing.T) {
+	q := sim.NewEventQueue()
+	tr, err := NewTracer(q, Config{Flags: "Cache", RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tr.Logger("Cache", "c")
+	q.ScheduleFunc("emit", 1, func() {
+		for i := 0; i < 10; i++ {
+			l.Logf("line %d", i)
+		}
+	})
+	q.Run()
+	tail := tr.Tail("c", 3)
+	if len(tail) != 3 {
+		t.Fatalf("tail length = %d, want 3", len(tail))
+	}
+	for i, want := range []string{"line 7", "line 8", "line 9"} {
+		if !strings.HasSuffix(tail[i], want) {
+			t.Fatalf("tail[%d] = %q, want suffix %q", i, tail[i], want)
+		}
+	}
+	if got := tr.Components(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("components = %v", got)
+	}
+}
+
+func TestTailWithoutOutputWriter(t *testing.T) {
+	// Rings fill even when no Out writer is attached — that is what feeds
+	// watchdog diagnostics on otherwise-silent runs.
+	q := sim.NewEventQueue()
+	tr, err := NewTracer(q, Config{Flags: "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tr.Logger("NVDLA", "dla0")
+	q.ScheduleFunc("emit", 7, func() { l.Logf("tile done") })
+	q.Run()
+	tail := tr.Tail("dla0", 8)
+	if len(tail) != 1 || !strings.Contains(tail[0], "tile done") {
+		t.Fatalf("tail = %v", tail)
+	}
+}
+
+func TestParseFlagsHelpListsEveryFlag(t *testing.T) {
+	help := ParseFlagsHelp()
+	for _, f := range Flags {
+		if !strings.Contains(help, f) {
+			t.Fatalf("help %q missing flag %s", help, f)
+		}
+	}
+}
+
+func BenchmarkLoggerOff(b *testing.B) {
+	var l *Logger // tracing off: the field every component holds
+	for i := 0; i < b.N; i++ {
+		if l.On() {
+			l.Logf("addr=%#x", i)
+		}
+	}
+}
+
+func ExampleLogger() {
+	q := sim.NewEventQueue()
+	tr, _ := NewTracer(q, Config{Flags: "Cache", Out: &exampleWriter{}})
+	l := tr.Logger("Cache", "cpu0.l1d")
+	q.ScheduleFunc("emit", 500, func() { l.Logf("hit addr=%#x", 0x1000) })
+	q.Run()
+	// Output: 500: cpu0.l1d: hit addr=0x1000
+}
+
+type exampleWriter struct{}
+
+func (exampleWriter) Write(p []byte) (int, error) { fmt.Print(string(p)); return len(p), nil }

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"gem5rtl/internal/port"
+)
+
+// traceTap is a port.LinkTap that logs every timing delivery on one link
+// under the Port debug flag, gem5 PacketTracer style.
+type traceTap struct {
+	l *Logger
+}
+
+// PortTap returns a LinkTap that traces the named link's traffic, or nil
+// when the Port flag is disabled. Callers must skip Interpose on nil — a
+// disabled link carries no tap at all, preserving zero cost when off.
+func (t *Tracer) PortTap(link string) port.LinkTap {
+	l := t.Logger("Port", link)
+	if l == nil {
+		return nil
+	}
+	return &traceTap{l: l}
+}
+
+func (t *traceTap) TapReq(pkt *port.Packet) port.TapAction {
+	if t.l.On() {
+		t.l.Logf("req %s addr=%#x size=%d id=%d", pkt.Cmd, pkt.Addr, pkt.Size, pkt.ID)
+	}
+	return port.TapPass
+}
+
+func (t *traceTap) TapResp(pkt *port.Packet) port.TapAction {
+	if t.l.On() {
+		t.l.Logf("resp %s addr=%#x size=%d id=%d", pkt.Cmd, pkt.Addr, pkt.Size, pkt.ID)
+	}
+	return port.TapPass
+}

@@ -1,0 +1,8 @@
+package pmu
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the PMU debug flag (nil logger = off).
+func (w *Wrapper) AttachTracer(t *obs.Tracer) {
+	w.trace = t.Logger("PMU", "pmu")
+}

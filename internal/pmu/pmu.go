@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/rtlobject"
 	"gem5rtl/internal/verilog"
@@ -164,6 +165,11 @@ type Wrapper struct {
 
 	// TickHook runs after every model tick (used by tests/tracing).
 	TickHook func(m *rtl.Model)
+
+	// trace is the PMU debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
+	// prevIrq tracks the IRQ line for edge tracing.
+	prevIrq bool
 }
 
 // NewWrapper compiles the PMU RTL and builds its wrapper.
@@ -245,6 +251,9 @@ func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
 			for i := 0; i < len(req.Data) && i < 4; i++ {
 				v |= uint64(req.Data[i]) << (8 * i)
 			}
+			if w.trace.On() {
+				w.trace.Logf("axi write addr=%#x data=%#x", req.Addr&0xFF, v)
+			}
 			w.model.SetInputID(w.inAwvalid, 1)
 			w.model.SetInputID(w.inAwaddr, req.Addr&0xFF)
 			w.model.SetInputID(w.inWdata, v)
@@ -269,6 +278,9 @@ func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
 	}
 	if w.inflightRead != nil && w.model.PeekID(w.outRvalid) == 1 {
 		data := w.model.PeekID(w.outRdata)
+		if w.trace.On() {
+			w.trace.Logf("axi read addr=%#x -> %#x", w.inflightRead.Addr&0xFF, data)
+		}
 		out.CPUResponses = append(out.CPUResponses, rtlobject.CPUResponse{
 			ID:   w.inflightRead.ID,
 			Data: []byte{byte(data), byte(data >> 8), byte(data >> 16), byte(data >> 24)},
@@ -276,6 +288,12 @@ func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
 		w.inflightRead = nil
 	}
 	out.Interrupt = w.model.PeekID(w.outIrq) == 1
+	if out.Interrupt != w.prevIrq {
+		if w.trace.On() {
+			w.trace.Logf("irq %v", out.Interrupt)
+		}
+		w.prevIrq = out.Interrupt
+	}
 	return out
 }
 

@@ -1,0 +1,8 @@
+package rtlobject
+
+import "gem5rtl/internal/obs"
+
+// AttachTracer wires the RTL debug flag (nil logger = off).
+func (r *RTLObject) AttachTracer(t *obs.Tracer) {
+	r.trace = t.Logger("RTL", r.cfg.Name)
+}

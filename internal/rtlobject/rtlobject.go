@@ -23,6 +23,7 @@ package rtlobject
 import (
 	"fmt"
 
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
 )
@@ -173,6 +174,9 @@ type RTLObject struct {
 	irqLevel bool
 	irqFn    func(level bool)
 
+	// trace is the RTL debug-flag logger (nil = off; see AttachTracer).
+	trace *obs.Logger
+
 	stats Stats
 }
 
@@ -260,6 +264,9 @@ func (r *RTLObject) tick(cycle uint64) bool {
 		}
 		if out.Interrupt != r.irqLevel {
 			r.irqLevel = out.Interrupt
+			if r.trace.On() {
+				r.trace.Logf("irq %v at model cycle %d", out.Interrupt, cycle)
+			}
 			if out.Interrupt {
 				r.stats.Interrupts++
 			}
@@ -303,6 +310,10 @@ func (r *RTLObject) pumpMem() {
 			pkt.PopSenderState()
 			r.blocked[req.Port] = true
 			return
+		}
+		if r.trace.On() {
+			r.trace.Logf("mem issue id=%d port=%d write=%v addr=%#x (%d inflight)",
+				req.ID, req.Port, req.Write, addr, len(r.inflight)+1)
 		}
 		r.inflight[req.ID] = &memTxn{req: req, issued: r.q.Now()}
 		if req.Write {
@@ -384,6 +395,9 @@ func (m *memSide) RecvTimingResp(pkt *port.Packet) bool {
 	}
 	delete(r.inflight, id)
 	lat := r.q.Now() - txn.issued
+	if r.trace.On() {
+		r.trace.Logf("mem done id=%d write=%v latency=%d", id, txn.req.Write, uint64(lat))
+	}
 	r.stats.TotalMemLat += lat
 	r.stats.RetiredMem++
 	resp := MemResponse{ID: id, Write: txn.req.Write, Latency: lat}

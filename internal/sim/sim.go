@@ -110,6 +110,9 @@ type EventQueue struct {
 	seq        uint64
 	exitReason string
 	exitSet    bool
+	// dispatched is a plain counter on the Step hot path; the queue is
+	// strictly single-threaded, so read it only from the sim goroutine
+	// (host-side monitors aggregate it post-run via obs.CountEvents).
 	dispatched uint64
 }
 
@@ -122,7 +125,8 @@ func NewEventQueue() *EventQueue {
 func (q *EventQueue) Now() Tick { return q.now }
 
 // Dispatched returns the total number of events executed so far; useful for
-// simulator performance statistics (host events per second).
+// simulator performance statistics (host events per second). Like the rest
+// of the queue API it must be called from the simulation goroutine.
 func (q *EventQueue) Dispatched() uint64 { return q.dispatched }
 
 // Empty reports whether no events are pending.

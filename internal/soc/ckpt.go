@@ -81,6 +81,15 @@ func (s *System) Save(out io.Writer) error {
 			return err
 		}
 	}
+	// Observability state travels only when a latency profile is attached;
+	// plain runs keep the seed stream layout byte-for-byte. A checkpoint
+	// written with a profile must be restored into a system with the same
+	// profile topology attached (AttachLatencyProfile before Restore).
+	if s.Latency != nil {
+		if err := s.Latency.SaveState(w); err != nil {
+			return err
+		}
+	}
 	w.Section("soc.end")
 	if err := w.Err(); err != nil {
 		return err
@@ -99,6 +108,11 @@ func (s *System) Restore(in io.Reader) (uint64, error) {
 	port.FastForwardPacketID(r.U64())
 	for _, c := range s.components() {
 		if err := c.RestoreState(r); err != nil {
+			return 0, err
+		}
+	}
+	if s.Latency != nil {
+		if err := s.Latency.RestoreState(r); err != nil {
 			return 0, err
 		}
 	}

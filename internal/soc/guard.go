@@ -75,6 +75,9 @@ func (s *System) AttachWatchdog(cfg guard.Config) *guard.Watchdog {
 			return w.Stats().TilesDone
 		})
 	}
+	if s.Tracer != nil {
+		wd.SetTraceTail(s.Tracer.Tail)
+	}
 	wd.Start()
 	s.Watchdog = wd
 	return wd

@@ -18,6 +18,7 @@ import (
 	"gem5rtl/internal/mem"
 	"gem5rtl/internal/noc"
 	"gem5rtl/internal/nvdla"
+	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/rtlobject"
@@ -88,6 +89,12 @@ type System struct {
 	// Watchdog is the liveness monitor installed by AttachWatchdog (nil
 	// otherwise). Its Err is surfaced by RunNVDLAPhase.
 	Watchdog *guard.Watchdog
+
+	// Tracer is the debug-flag trace sink installed by AttachTracer (nil
+	// otherwise); Latency the packet-lifetime profile installed by
+	// AttachLatencyProfile (nil otherwise).
+	Tracer  *obs.Tracer
+	Latency *obs.LatencyProfile
 
 	Stats *stats.Registry
 }

@@ -51,7 +51,9 @@ func (r *Registry) Get(name string) (float64, bool) {
 	return r.values[i].Get(), true
 }
 
-// Snapshot samples every statistic.
+// Snapshot samples every statistic. The returned map has no defined order;
+// any code path that serializes a snapshot must use SnapshotSorted (or
+// Names) instead, so emitted output is deterministic.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64, len(r.values))
 	for _, v := range r.values {
@@ -60,15 +62,38 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// Dump writes all statistics in gem5's "name value # desc" format, sorted.
-func (r *Registry) Dump(w io.Writer) {
+// Sample is one (name, value) pair from an ordered snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Names returns every registered statistic name, sorted. The slice is
+// freshly allocated; callers may keep it.
+func (r *Registry) Names() []string {
 	names := make([]string, 0, len(r.values))
 	for name := range r.byName {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names
+}
+
+// SnapshotSorted samples every statistic in sorted-name order — the
+// deterministic form for serialization (interval dumps, golden files).
+func (r *Registry) SnapshotSorted() []Sample {
+	names := r.Names()
+	out := make([]Sample, len(names))
+	for i, name := range names {
+		out[i] = Sample{Name: name, Value: r.values[r.byName[name]].Get()}
+	}
+	return out
+}
+
+// Dump writes all statistics in gem5's "name value # desc" format, sorted.
+func (r *Registry) Dump(w io.Writer) {
 	fmt.Fprintln(w, "---------- Begin Simulation Statistics ----------")
-	for _, name := range names {
+	for _, name := range r.Names() {
 		v := r.values[r.byName[name]]
 		fmt.Fprintf(w, "%-50s %14.6g  # %s\n", v.Name, v.Get(), v.Desc)
 	}

@@ -60,3 +60,53 @@ func TestDelta(t *testing.T) {
 		t.Fatalf("delta %v", d)
 	}
 }
+
+// TestDumpGolden pins the exact serialized form of Dump: registration order
+// must not leak into the output (names sort), and the column layout matches
+// gem5's "name value # desc" stats.txt format.
+func TestDumpGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name order.
+	r.Register("system.mem.reads", "memory reads", func() float64 { return 12345 })
+	r.Register("system.cpu0.ipc", "instructions per cycle", func() float64 { return 0.75 })
+	r.Register("system.cpu0.committedInsts", "committed instructions", func() float64 { return 98765 })
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	want := `---------- Begin Simulation Statistics ----------
+system.cpu0.committedInsts                                  98765  # committed instructions
+system.cpu0.ipc                                              0.75  # instructions per cycle
+system.mem.reads                                            12345  # memory reads
+---------- End Simulation Statistics   ----------
+`
+	if buf.String() != want {
+		t.Fatalf("dump drifted from golden form:\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestNamesSortedAndFresh(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b", "", func() float64 { return 0 })
+	r.Register("a", "", func() float64 { return 0 })
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	names[0] = "mutated"
+	if again := r.Names(); again[0] != "a" {
+		t.Fatal("Names returned a shared slice")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	x := uint64(3)
+	r.RegisterCounter("z.last", "", &x)
+	r.Register("a.first", "", func() float64 { return 1 })
+	snap := r.SnapshotSorted()
+	if len(snap) != 2 || snap[0].Name != "a.first" || snap[1].Name != "z.last" {
+		t.Fatalf("snapshot order %v", snap)
+	}
+	if snap[0].Value != 1 || snap[1].Value != 3 {
+		t.Fatalf("snapshot values %v", snap)
+	}
+}
