@@ -71,11 +71,18 @@ type mshr struct {
 // Cache is one cache level with a CPU-side response port and a memory-side
 // request port.
 type Cache struct {
-	cfg   Config
-	q     *sim.EventQueue
-	sets  [][]line
-	nsets int
-	useCt uint64
+	cfg Config
+	q   *sim.EventQueue
+	// sets holds one way-array per set, materialised on the set's first
+	// victim selection; setSlab lazily backs each touched set's line data
+	// with a single assoc × block-size allocation. A nil set reads as
+	// all-invalid, so large mostly-idle caches (the 16 MiB LLC in short
+	// DSE points) cost memory proportional to their touched footprint,
+	// not their geometry.
+	sets    [][]line
+	setSlab [][]byte
+	nsets   int
+	useCt   uint64
 
 	cpuPort *port.ResponsePort
 	memPort *port.RequestPort
@@ -83,6 +90,10 @@ type Cache struct {
 	reqQ    *port.ReqQueue
 
 	mshrs map[uint64]*mshr
+	// mshrFree recycles retired MSHRs (and their target slices); pool
+	// recycles the block fetches and writebacks this cache originates.
+	mshrFree []*mshr
+	pool     port.PacketPool
 
 	// Stride prefetcher state.
 	lastMiss   uint64
@@ -110,10 +121,11 @@ func New(cfg Config, q *sim.EventQueue) *Cache {
 		panic(fmt.Sprintf("cache %s: bad geometry", cfg.Name))
 	}
 	c := &Cache{cfg: cfg, q: q, nsets: nsets, mshrs: map[uint64]*mshr{}}
+	// Only the set-pointer tables are eager; way arrays and data slabs
+	// materialise per touched set in victim(). Cache construction used to
+	// dominate the allocation profile of cold DSE sweeps.
 	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
-	}
+	c.setSlab = make([][]byte, nsets)
 	c.cpuPort = port.NewResponsePort(cfg.Name+".cpu_side", (*cacheCPUSide)(c))
 	c.memPort = port.NewRequestPort(cfg.Name+".mem_side", (*cacheMemSide)(c))
 	c.respQ = port.NewRespQueue(cfg.Name+".resp", q, c.cpuPort)
@@ -226,7 +238,16 @@ func (c *Cache) handleRequest(pkt *port.Packet) bool {
 
 // allocateMiss registers an MSHR and issues the block fetch downstream.
 func (c *Cache) allocateMiss(blockAddr uint64, pkt *port.Packet, isPref bool) {
-	m := &mshr{blockAddr: blockAddr, isPref: isPref}
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree[n-1] = nil
+		c.mshrFree = c.mshrFree[:n-1]
+		m.blockAddr = blockAddr
+		m.isPref = isPref
+	} else {
+		m = &mshr{blockAddr: blockAddr, isPref: isPref}
+	}
 	if pkt != nil {
 		m.targets = append(m.targets, pkt)
 	}
@@ -235,7 +256,7 @@ func (c *Cache) allocateMiss(blockAddr uint64, pkt *port.Packet, isPref bool) {
 	if isPref {
 		cmd = port.PrefetchReq
 	}
-	fetch := port.NewPacket(cmd, blockAddr, c.cfg.BlockSize)
+	fetch := c.pool.Get(cmd, blockAddr, c.cfg.BlockSize)
 	fetch.ReqTick = c.q.Now()
 	c.reqQ.Schedule(fetch, c.q.Now()+c.cfg.Latency)
 }
@@ -265,6 +286,8 @@ func (c *Cache) serve(pkt *port.Packet, ln *line, readyAt sim.Tick) {
 		copy(ln.data[off:off+pkt.Size], pkt.Data)
 		ln.dirty = true
 		if !pkt.NeedsResponse() {
+			// Terminus of a writeback: this cache is the packet's final owner.
+			pkt.Release()
 			return
 		}
 		pkt.MakeResponse()
@@ -303,6 +326,14 @@ func (c *Cache) handleFill(pkt *port.Packet) bool {
 	for _, t := range m.targets {
 		c.serve(t, ln, readyAt)
 	}
+	// The fill is this cache's own fetch packet coming back: the payload is
+	// copied into the line above, so the packet can be recycled.
+	pkt.Release()
+	for i := range m.targets {
+		m.targets[i] = nil
+	}
+	m.targets = m.targets[:0]
+	c.mshrFree = append(c.mshrFree, m)
 	// MSHR freed: admit a deferred request and wake refused senders.
 	c.cpuPort.SendRetryReq()
 	return true
@@ -311,17 +342,24 @@ func (c *Cache) handleFill(pkt *port.Packet) bool {
 // victim selects (and if necessary evicts) a line for blockAddr's set.
 func (c *Cache) victim(blockAddr uint64) *line {
 	set, _ := c.index(blockAddr)
-	var v *line
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ways := c.sets[set]
+	if ways == nil {
+		// First touch of this set: materialise its ways.
+		ways = make([]line, c.cfg.Assoc)
+		c.sets[set] = ways
+	}
+	vi := -1
+	for i := range ways {
+		ln := &ways[i]
 		if !ln.valid {
-			v = ln
+			vi = i
 			break
 		}
-		if v == nil || ln.lastUse < v.lastUse {
-			v = ln
+		if vi < 0 || ln.lastUse < ways[vi].lastUse {
+			vi = i
 		}
 	}
+	v := &ways[vi]
 	if v.valid {
 		c.stats.Evictions++
 		if v.dirty {
@@ -332,13 +370,19 @@ func (c *Cache) victim(blockAddr uint64) *line {
 			if c.trace.On() {
 				c.trace.Logf("writeback victim addr=%#x for fill %#x", victimAddr, blockAddr)
 			}
-			wb := port.NewPacket(port.WritebackDirty, victimAddr, c.cfg.BlockSize)
-			wb.Data = append([]byte(nil), v.data...)
+			wb := c.pool.Get(port.WritebackDirty, victimAddr, c.cfg.BlockSize)
+			wb.Data = append(wb.Data[:0], v.data...)
 			c.reqQ.Schedule(wb, c.q.Now())
 		}
 	}
 	if v.data == nil {
-		v.data = make([]byte, c.cfg.BlockSize)
+		// First use: carve this line's fixed region out of the set's slab
+		// (allocated on the set's first touch, zeroed like a fresh make).
+		if c.setSlab[set] == nil {
+			c.setSlab[set] = make([]byte, c.cfg.Assoc*c.cfg.BlockSize)
+		}
+		idx := vi * c.cfg.BlockSize
+		v.data = c.setSlab[set][idx : idx+c.cfg.BlockSize : idx+c.cfg.BlockSize]
 	}
 	return v
 }

@@ -109,6 +109,19 @@ type Core struct {
 
 	decoded map[uint64]isa.Inst
 
+	// pool recycles the core's timing read packets (ifetch and load touches);
+	// lsFree recycles their loadState tags. Write packets stay individually
+	// allocated: a posted write's packet is retained by the DRAM write queue
+	// (and by checkpoints) after its response retires here.
+	pool   port.PacketPool
+	lsFree []*loadState
+	// fnRead/fnWrite are reusable scratch packets for the functional
+	// backbone; fnBuf backs their payloads. Functional accesses complete
+	// synchronously and nothing downstream retains the packet or buffer.
+	fnRead  port.Packet
+	fnWrite port.Packet
+	fnBuf   [16]byte
+
 	// OnCommit fires every active cycle with the number of instructions
 	// committed that cycle — the PMU's commit event lines.
 	OnCommit func(n int)
@@ -129,6 +142,21 @@ type loadState struct {
 	isFetch bool
 	rd      uint8
 }
+
+// getLoadState recycles a tag from the freelist (or allocates one). Tags are
+// returned by putLoadState once popped from a response or a refused send.
+func (c *Core) getLoadState(isLoad, isFetch bool, rd uint8) *loadState {
+	if n := len(c.lsFree); n > 0 {
+		st := c.lsFree[n-1]
+		c.lsFree[n-1] = nil
+		c.lsFree = c.lsFree[:n-1]
+		st.isLoad, st.isFetch, st.rd = isLoad, isFetch, rd
+		return st
+	}
+	return &loadState{isLoad: isLoad, isFetch: isFetch, rd: rd}
+}
+
+func (c *Core) putLoadState(st *loadState) { c.lsFree = append(c.lsFree, st) }
 
 // New creates a core on the given clock domain. Bind IPort/DPort before
 // Start.
@@ -239,22 +267,24 @@ func (c *Core) step(committed *int) bool {
 	blk := c.pc &^ 63
 	if blk != c.fetchBlock {
 		c.fetchBlock = blk
-		fetch := port.NewReadPacket(blk, 64)
-		fetch.PushSenderState(&loadState{isFetch: true})
+		fetch := c.pool.GetRead(blk, 64)
+		fetch.PushSenderState(c.getLoadState(false, true, 0))
 		fetch.RequestorID = c.cfg.ID
 		if c.iPort.SendTimingReq(fetch) {
 			c.fetchOutstanding++
+		} else {
+			// Refused (L1I MSHR-full): proceed functionally; rare.
+			c.putLoadState(fetch.PopSenderState().(*loadState))
+			fetch.Release()
 		}
-		// If refused (L1I MSHR-full) we proceed functionally; rare.
 	}
 	in, ok := c.decoded[c.pc]
 	if !ok {
-		raw := make([]byte, isa.InstBytes)
-		rd := port.NewFunctionalRead(c.pc, isa.InstBytes)
-		rd.Data = raw
-		c.iPort.SendFunctional(rd)
+		c.fnRead = port.Packet{Cmd: port.ReadReq, Addr: c.pc, Size: isa.InstBytes,
+			Data: c.fnBuf[:isa.InstBytes]}
+		c.iPort.SendFunctional(&c.fnRead)
 		var err error
-		in, err = isa.Decode(rd.Data)
+		in, err = isa.Decode(c.fnRead.Data)
 		if err != nil {
 			panic(fmt.Sprintf("%s: pc=%#x: %v", c.cfg.Name, c.pc, err))
 		}
@@ -289,20 +319,21 @@ func (c *Core) step(committed *int) bool {
 		addr := c.regs[in.Rs1] + uint64(int64(in.Imm))
 		n := in.Op.MemBytes()
 		// Functional backbone: architectural value now...
-		f := port.NewFunctionalRead(addr, n)
-		c.dPort.SendFunctional(f)
+		c.fnRead = port.Packet{Cmd: port.ReadReq, Addr: addr, Size: n, Data: c.fnBuf[:n]}
+		c.dPort.SendFunctional(&c.fnRead)
 		var v uint64
 		for i := n - 1; i >= 0; i-- {
-			v = v<<8 | uint64(f.Data[i])
+			v = v<<8 | uint64(c.fnRead.Data[i])
 		}
 		c.setReg(in.Rd, v)
 		// ...timing packet to gate consumers.
-		t := port.NewReadPacket(addr, n)
+		t := c.pool.GetRead(addr, n)
 		t.RequestorID = c.cfg.ID
-		t.PushSenderState(&loadState{isLoad: true, rd: in.Rd})
+		t.PushSenderState(c.getLoadState(true, false, in.Rd))
 		if !c.dPort.SendTimingReq(t) {
 			// L1D refused (MSHR-full): retry next cycle, undo.
-			t.PopSenderState()
+			c.putLoadState(t.PopSenderState().(*loadState))
+			t.Release()
 			c.stats.QueueStalls++
 			return false
 		}
@@ -318,18 +349,22 @@ func (c *Core) step(committed *int) bool {
 		}
 		addr := c.regs[in.Rs1] + uint64(int64(in.Imm))
 		n := in.Op.MemBytes()
+		// The write payload must be individually allocated: the timing packet
+		// below aliases it, and a posted write's packet (and thus the buffer)
+		// can be retained by the DRAM write queue and by checkpoints long
+		// after this store retires.
 		buf := make([]byte, n)
 		v := c.regs[in.Rs2]
 		for i := 0; i < n; i++ {
 			buf[i] = byte(v >> (8 * i))
 		}
-		f := port.NewFunctionalWrite(addr, buf)
-		c.dPort.SendFunctional(f)
+		c.fnWrite = port.Packet{Cmd: port.WriteReq, Addr: addr, Size: n, Data: buf}
+		c.dPort.SendFunctional(&c.fnWrite)
 		t := port.NewWritePacket(addr, buf)
 		t.RequestorID = c.cfg.ID
-		t.PushSenderState(&loadState{})
+		t.PushSenderState(c.getLoadState(false, false, 0))
 		if !c.dPort.SendTimingReq(t) {
-			t.PopSenderState()
+			c.putLoadState(t.PopSenderState().(*loadState))
 			c.stats.QueueStalls++
 			return false
 		}
@@ -515,6 +550,8 @@ func (ci *coreIFace) RecvTimingResp(pkt *port.Packet) bool {
 		panic("cpu: non-fetch response on icache port")
 	}
 	c.fetchOutstanding--
+	c.putLoadState(st)
+	pkt.Release()
 	return true
 }
 
@@ -534,6 +571,10 @@ func (cd *coreDFace) RecvTimingResp(pkt *port.Packet) bool {
 	} else {
 		c.outStores--
 	}
+	c.putLoadState(st)
+	// Loads and fetches are pool-owned by this core; for store responses
+	// (never pooled) this is a no-op.
+	pkt.Release()
 	return true
 }
 

@@ -133,7 +133,7 @@ func faultRun(ctx context.Context, spec RunSpec, gcfg guard.Config, f *guard.Fau
 			tap.BindDelay(s.Queue, inj)
 		case guard.DRAMBitFlip:
 			addr, bit := f.Addr, f.Bit%8
-			s.Queue.ScheduleFunc("guard.dram-bit-flip", f.Tick, func() {
+			s.Queue.ScheduleOneShot("guard.dram-bit-flip", f.Tick, func() {
 				var b [1]byte
 				s.Store.Read(addr, b[:])
 				b[0] ^= 1 << bit
@@ -409,7 +409,7 @@ func pmuRun(ctx context.Context, c PMUCampaign, f *guard.Fault) (faultRunResult,
 	defer wd.Stop()
 	if f != nil {
 		pick := f.Pick
-		s.Queue.ScheduleFunc("guard.rtl-state-flip", f.Tick, func() {
+		s.Queue.ScheduleOneShot("guard.rtl-state-flip", f.Tick, func() {
 			s.PMUWrapper.Model().InjectStateFlip(pick)
 			res.fired = true
 		})

@@ -217,7 +217,7 @@ func (t *PacketFaultTap) TapResp(pkt *port.Packet) port.TapAction {
 				return port.TapPass
 			}
 			held := pkt
-			t.q.ScheduleFunc("guard.delay-resp", t.q.Now()+t.F.Delay, func() {
+			t.q.ScheduleOneShot("guard.delay-resp", t.q.Now()+t.F.Delay, func() {
 				t.inj.DeliverResp(held)
 			})
 			return port.TapDrop

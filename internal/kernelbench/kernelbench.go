@@ -1,0 +1,156 @@
+// Package kernelbench is the repeatable event-kernel benchmark suite behind
+// `make bench` and the CI benchmark job. One set of benchmark bodies is
+// shared by two entry points: the `go test -bench BenchmarkKernel` wrapper
+// (interactive profiling) and cmd/kernelbench (which runs the suite via
+// testing.Benchmark and emits/compares the BENCH_kernel.json baseline).
+//
+// The suite has three tiers:
+//
+//   - queue/* — event-queue microbenchmarks, run on both the calendar
+//     queue and the reference binary heap so their ratio (the calendar
+//     speedup) is a machine-independent quantity;
+//   - packet/pool — the pooled packet fast path;
+//   - sweep/* — the 12-config sanity3 DSE grid of BenchmarkSweep, cold and
+//     warm-start, exercising the whole simulator.
+//
+// PERFORMANCE.md documents how to run the suite and how the JSON baseline
+// is compared.
+package kernelbench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/port"
+	"gem5rtl/internal/sim"
+)
+
+// Bench is one suite entry.
+type Bench struct {
+	// Name identifies the benchmark in BENCH_kernel.json ("queue/calendar").
+	Name string
+	// Run is the standard benchmark body.
+	Run func(b *testing.B)
+}
+
+// Suite returns the full kernel benchmark suite in a fixed order.
+func Suite() []Bench {
+	return []Bench{
+		{"queue/calendar", func(b *testing.B) { benchQueueChurn(b, false) }},
+		{"queue/reference", func(b *testing.B) { benchQueueChurn(b, true) }},
+		{"queue/oneshot", benchOneShot},
+		{"packet/pool", benchPacketPool},
+		{"sweep/cold", func(b *testing.B) { benchSweep(b, false) }},
+		{"sweep/warm", func(b *testing.B) { benchSweep(b, true) }},
+	}
+}
+
+// benchQueueChurn measures steady-state Schedule/dispatch throughput on a
+// mixed event population: 64 near-future tickers at coprime clock-like
+// periods (the common case: every component reschedules within the calendar
+// window) plus 4 far tickers that land in the spill heap each round. One op
+// = one event dispatch.
+func benchQueueChurn(b *testing.B, reference bool) {
+	var q *sim.EventQueue
+	if reference {
+		q = sim.NewReferenceEventQueue()
+	} else {
+		q = sim.NewEventQueue()
+	}
+	periods := []sim.Tick{500, 625, 750, 1000, 1250, 2000, 3125, 10000}
+	var events []*sim.Event
+	for i := 0; i < 64; i++ {
+		i := i
+		p := periods[i%len(periods)]
+		var ev *sim.Event
+		ev = sim.NewEvent(fmt.Sprintf("tick%d", i), func() {
+			q.Schedule(ev, q.Now()+p)
+		})
+		events = append(events, ev)
+		q.Schedule(ev, sim.Tick(1+i))
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		far := sim.Tick(100_000 + 7_000*i) // beyond the calendar window
+		var ev *sim.Event
+		ev = sim.NewEvent(fmt.Sprintf("far%d", i), func() {
+			q.Schedule(ev, q.Now()+far)
+		})
+		events = append(events, ev)
+		q.Schedule(ev, far)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Step()
+	}
+	b.StopTimer()
+	for _, ev := range events {
+		q.Deschedule(ev)
+	}
+}
+
+// benchOneShot measures the pooled fire-and-forget path: schedule one
+// recycled one-shot and dispatch it. Steady state must not allocate.
+func benchOneShot(b *testing.B) {
+	q := sim.NewEventQueue()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ScheduleOneShot("os", q.Now()+10, fn)
+		q.Step()
+	}
+}
+
+// benchPacketPool measures the pooled packet round trip the memory system
+// performs per access: Get, materialise a response payload, Release.
+func benchPacketPool(b *testing.B) {
+	var pool port.PacketPool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := pool.GetRead(0x1000, 64)
+		pkt.MakeResponse()
+		pkt.AllocateData()
+		pkt.Release()
+	}
+}
+
+// sweepSpecs is the 12-config sanity3 grid of BenchmarkSweep.
+func sweepSpecs() []experiments.RunSpec {
+	p := experiments.DSEParams{Scale: 32, Limit: 8 * sim.Second}
+	var specs []experiments.RunSpec
+	for _, inflight := range []int{1, 16, 64, 240} {
+		for _, mem := range []string{"DDR4-1ch", "DDR4-4ch", "HBM"} {
+			specs = append(specs, p.Spec("sanity3", 1, mem, inflight))
+		}
+	}
+	return specs
+}
+
+// benchSweep measures one sequential pass over the 12-point DSE grid — the
+// macro benchmark the ISSUE acceptance targets. warm restores each point
+// from a 2µs checkpoint instead of simulating the prefix.
+func benchSweep(b *testing.B, warm bool) {
+	specs := sweepSpecs()
+	r := experiments.Runner{Workers: 1}
+	if warm {
+		r.Warmup = 2 * sim.Microsecond
+		r.Ckpts = experiments.NewCheckpointCache("")
+		if _, err := r.Sweep(context.Background(), specs); err != nil {
+			b.Fatal(err) // populate the cache outside the timing loop
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := r.Sweep(context.Background(), specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatalf("%v: %v", res.Spec, res.Err)
+			}
+		}
+	}
+}

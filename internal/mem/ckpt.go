@@ -182,7 +182,9 @@ func (d *DRAMCtrl) restoreDRAMQueue(r *ckpt.Reader) []*dramRequest {
 		pkt := port.LoadPacket(r)
 		arrived := sim.Tick(r.U64())
 		_, bank, row := d.route(pkt.Addr)
-		q = append(q, &dramRequest{pkt: pkt, bank: bank, row: row, arrived: arrived})
+		// A restored posted write's packet already carries its response
+		// command, for which IsRead() is false — matching the write it models.
+		q = append(q, &dramRequest{pkt: pkt, bank: bank, row: row, arrived: arrived, isRead: pkt.Cmd.IsRead()})
 	}
 	return q
 }

@@ -26,6 +26,12 @@ type DRAMCtrl struct {
 	// (checkpointable) rather than anonymous closures on the event queue.
 	pendingReads []*dramPendingRead
 
+	// reqFree and prFree recycle the per-access bookkeeping records; each
+	// dramPendingRead keeps its completion event (and the closure binding it)
+	// across reuses, so steady-state reads schedule zero allocations.
+	reqFree []*dramRequest
+	prFree  []*dramPendingRead
+
 	// trace is the Mem debug-flag logger (nil = off; see AttachTracer).
 	trace *obs.Logger
 
@@ -74,6 +80,10 @@ type dramRequest struct {
 	bank    int
 	row     uint64
 	arrived sim.Tick
+	// isRead is latched at enqueue: a posted write's packet is mutated into
+	// its response (and may later be recycled) while the queue entry still
+	// models the bank/bus cost, so the entry must not consult pkt.Cmd.
+	isRead bool
 }
 
 type dramBank struct {
@@ -148,7 +158,15 @@ func foldBank(rowIdx uint64, banks int) int {
 func (d *DRAMCtrl) RecvTimingReq(pkt *port.Packet) bool {
 	chIdx, bank, row := d.route(pkt.Addr)
 	ch := d.chans[chIdx]
-	req := &dramRequest{pkt: pkt, bank: bank, row: row, arrived: d.q.Now()}
+	var req *dramRequest
+	if n := len(d.reqFree); n > 0 {
+		req = d.reqFree[n-1]
+		d.reqFree[n-1] = nil
+		d.reqFree = d.reqFree[:n-1]
+		*req = dramRequest{pkt: pkt, bank: bank, row: row, arrived: d.q.Now(), isRead: pkt.Cmd.IsRead()}
+	} else {
+		req = &dramRequest{pkt: pkt, bank: bank, row: row, arrived: d.q.Now(), isRead: pkt.Cmd.IsRead()}
+	}
 	if d.trace.On() {
 		d.trace.Logf("%s addr=%#x ch=%d bank=%d row=%#x", pkt.Cmd, pkt.Addr, chIdx, bank, row)
 	}
@@ -274,9 +292,15 @@ func (ch *dramChannel) issue() {
 	bank.readyAt = done
 	bank.openRow = int64(req.row)
 
-	if req.pkt.Cmd.IsRead() {
+	if req.isRead {
 		d.scheduleReadDone(req.pkt, req.arrived, done+cfg.TCL+cfg.BackendLatency)
+	} else if req.pkt.Cmd == port.WritebackDirty {
+		// Writeback retire: the data was stored at enqueue and no response is
+		// owed, so this controller is the packet's final owner.
+		req.pkt.Release()
 	}
+	req.pkt = nil
+	d.reqFree = append(d.reqFree, req)
 	// A queue slot freed: let a refused sender retry. The retry may re-enter
 	// RecvTimingReq and kick(), scheduling issueEv — the re-arm below must
 	// therefore tolerate an already-scheduled event.
@@ -309,8 +333,17 @@ func (ch *dramChannel) issue() {
 
 // scheduleReadDone registers an issued read and arms its completion event.
 func (d *DRAMCtrl) scheduleReadDone(pkt *port.Packet, arrived sim.Tick, when sim.Tick) {
-	pr := &dramPendingRead{pkt: pkt, arrived: arrived}
-	pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) })
+	var pr *dramPendingRead
+	if n := len(d.prFree); n > 0 {
+		pr = d.prFree[n-1]
+		d.prFree[n-1] = nil
+		d.prFree = d.prFree[:n-1]
+		pr.pkt = pkt
+		pr.arrived = arrived
+	} else {
+		pr = &dramPendingRead{pkt: pkt, arrived: arrived}
+		pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) })
+	}
 	d.pendingReads = append(d.pendingReads, pr)
 	d.q.Schedule(pr.ev, when)
 }
@@ -334,6 +367,10 @@ func (d *DRAMCtrl) readDone(pr *dramPendingRead) {
 		d.trace.Logf("read done addr=%#x latency=%d", pkt.Addr, uint64(d.q.Now()-pr.arrived))
 	}
 	d.rq.Schedule(pkt, d.q.Now())
+	// The tracker (with its event and closure) is reusable the moment the
+	// response leaves; the packet itself lives on in the response queue.
+	pr.pkt = nil
+	d.prFree = append(d.prFree, pr)
 }
 
 // QueueOccupancy reports total queued reads and writes across channels

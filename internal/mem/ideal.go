@@ -45,6 +45,8 @@ func (m *IdealMemory) RecvTimingReq(pkt *port.Packet) bool {
 		m.Writes++
 		m.store.Write(pkt.Addr, pkt.Data)
 		if !pkt.NeedsResponse() {
+			// Writeback terminus: the data is stored, recycle the packet.
+			pkt.Release()
 			return true
 		}
 		pkt.MakeResponse()

@@ -74,6 +74,8 @@ func (s *Scratchpad) RecvTimingReq(pkt *port.Packet) bool {
 		s.Writes++
 		s.store.Write(pkt.Addr, pkt.Data)
 		if !pkt.NeedsResponse() {
+			// Writeback terminus: the data is stored, recycle the packet.
+			pkt.Release()
 			return true
 		}
 		pkt.MakeResponse()

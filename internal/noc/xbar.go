@@ -55,6 +55,12 @@ type Xbar struct {
 	ingressBusy []sim.Tick
 	egressBusy  []sim.Tick
 
+	// frontStates holds one immutable frontState per front port, shared by
+	// every in-flight packet from that port instead of allocating per
+	// request. Safe because frontState is never mutated after construction
+	// and the checkpoint codec encodes it by value.
+	frontStates []*frontState
+
 	Forwarded uint64
 	Responses uint64
 
@@ -75,6 +81,7 @@ func New(cfg Config, q *sim.EventQueue, nFront, nDown int) *Xbar {
 		fp := port.NewResponsePort(fmt.Sprintf("%s.front[%d]", cfg.Name, i), &xbarFront{x, i})
 		x.fronts = append(x.fronts, fp)
 		x.respQs = append(x.respQs, port.NewRespQueue(fmt.Sprintf("%s.front[%d]", cfg.Name, i), q, fp))
+		x.frontStates = append(x.frontStates, &frontState{front: i})
 	}
 	for i := 0; i < nDown; i++ {
 		i := i
@@ -163,7 +170,7 @@ func (f *xbarFront) RecvTimingReq(pkt *port.Packet) bool {
 		x.trace.Logf("front[%d] %s addr=%#x -> down[%d]", f.i, pkt.Cmd, pkt.Addr, down)
 	}
 	if pkt.NeedsResponse() {
-		pkt.PushSenderState(&frontState{front: f.i})
+		pkt.PushSenderState(f.x.frontStates[f.i])
 		x.outstanding[f.i]++
 	}
 	x.Forwarded++

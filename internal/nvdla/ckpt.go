@@ -51,8 +51,8 @@ func (w *Wrapper) SaveState(cw *ckpt.Writer) error {
 		cw.Int(w.readTile[id])
 	}
 	cw.Int(w.writesOut)
-	cw.Int(len(w.pendWrites))
-	for i := range w.pendWrites {
+	cw.Int(len(w.pendWrites) - w.pendHead)
+	for i := w.pendHead; i < len(w.pendWrites); i++ {
 		rtlobject.SaveMemRequest(cw, &w.pendWrites[i])
 	}
 	cw.U64(w.stats.BusyCycles)
@@ -108,6 +108,7 @@ func (w *Wrapper) RestoreState(r *ckpt.Reader) error {
 	w.writesOut = r.Len()
 	n = r.Len()
 	w.pendWrites = nil
+	w.pendHead = 0
 	for i := 0; i < n && r.Err() == nil; i++ {
 		w.pendWrites = append(w.pendWrites, rtlobject.LoadMemRequest(r))
 	}

@@ -119,6 +119,20 @@ type Wrapper struct {
 	readTile    map[uint64]int
 	writesOut   int
 	pendWrites  []rtlobject.MemRequest
+	// pendHead is the drain point of pendWrites; the backing array is
+	// reused instead of re-sliced away.
+	pendHead int
+
+	// out is the Output returned from every Tick, reused with its slices
+	// reset: the RTLObject copies the elements out before the next tick.
+	out rtlobject.Output
+	// wbuf is a grow-only arena for output-write payloads. Write packets
+	// (and DRAM posted-write queues, and checkpoints) may retain payload
+	// slices indefinitely, so carved slices are never recycled — the arena
+	// only batches many small allocations into one large one. Slices are
+	// full (three-index) so neighbours can't be scribbled by append, and
+	// fault-injection bit flips stay confined to one write's payload.
+	wbuf []byte
 
 	// trace is the NVDLA debug-flag logger (nil = off; see AttachTracer).
 	// It is preserved across Reset.
@@ -251,7 +265,10 @@ func (w *Wrapper) beginLayer() {
 
 // Tick implements rtlobject.Wrapper: one 1 GHz accelerator cycle.
 func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
-	out := &rtlobject.Output{}
+	out := &w.out
+	out.MemRequests = out.MemRequests[:0]
+	out.CPUResponses = out.CPUResponses[:0]
+	out.Interrupt = false
 	// CSB traffic via the CPU-side port.
 	for _, req := range in.CPURequests {
 		if req.Write {
@@ -331,14 +348,19 @@ func (w *Wrapper) Tick(in *rtlobject.Input) *rtlobject.Output {
 		budget--
 	}
 	// Store engine: drain pending output writes.
-	for budget > 0 && len(w.pendWrites) > 0 {
-		out.MemRequests = append(out.MemRequests, w.pendWrites[0])
-		w.pendWrites = w.pendWrites[1:]
+	for budget > 0 && w.pendHead < len(w.pendWrites) {
+		out.MemRequests = append(out.MemRequests, w.pendWrites[w.pendHead])
+		w.pendWrites[w.pendHead] = rtlobject.MemRequest{}
+		w.pendHead++
 		budget--
+	}
+	if w.pendHead == len(w.pendWrites) {
+		w.pendWrites = w.pendWrites[:0]
+		w.pendHead = 0
 	}
 
 	// Layer / workload completion.
-	if w.computeTile >= len(w.tiles) && len(w.pendWrites) == 0 && w.writesOut == 0 {
+	if w.computeTile >= len(w.tiles) && w.pendHead == len(w.pendWrites) && w.writesOut == 0 {
 		w.stats.LayersDone++
 		if w.trace.On() {
 			w.trace.Logf("layer %d done (%d tiles)", w.layerIdx, w.stats.TilesDone)
@@ -404,11 +426,22 @@ func (w *Wrapper) finishTile(out *rtlobject.Output) {
 		w.nextID++
 		w.pendWrites = append(w.pendWrites, rtlobject.MemRequest{
 			ID: w.nextID, Addr: w.outCur, Size: n, Write: true,
-			Data: make([]byte, n), Port: PortDBBIF,
+			Data: w.carve(n), Port: PortDBBIF,
 		})
 		w.outCur += uint64(n)
 		w.writesOut++
 		w.stats.BytesWritten += uint64(n)
 	}
 	w.computeTile++
+}
+
+// carve returns a fresh zeroed n-byte payload from the write arena.
+func (w *Wrapper) carve(n int) []byte {
+	if len(w.wbuf)+n > cap(w.wbuf) {
+		const chunk = 64 << 10
+		w.wbuf = make([]byte, 0, chunk)
+	}
+	off := len(w.wbuf)
+	w.wbuf = w.wbuf[:off+n]
+	return w.wbuf[off : off+n : off+n]
 }

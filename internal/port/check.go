@@ -132,8 +132,10 @@ func (r *checkedResponder) RecvTimingReq(pkt *Packet) bool {
 	c := r.c
 	// Capture identity before delegating: a responder with posted writes
 	// (the DRAM controller) mutates the packet into its response inside
-	// RecvTimingReq.
+	// RecvTimingReq, and the terminus of a no-response command may Release
+	// a pooled packet before returning.
 	id, cmd, needsResp := pkt.ID, pkt.Cmd, pkt.NeedsResponse()
+	addr, size := pkt.Addr, pkt.Size
 	if c.refused[id] {
 		c.record("req  id=%d %s addr=%#x RESENT-WHILE-REFUSED", id, cmd, pkt.Addr)
 		c.violate("request id=%d (%s) resent before RecvReqRetry", id, cmd)
@@ -143,7 +145,7 @@ func (r *checkedResponder) RecvTimingReq(pkt *Packet) bool {
 		c.violate("duplicate in-flight request id=%d (%s)", id, cmd)
 	}
 	ok := r.inner.RecvTimingReq(pkt)
-	c.record("req  id=%d %s addr=%#x size=%d -> %s", id, cmd, pkt.Addr, pkt.Size, accepted(ok))
+	c.record("req  id=%d %s addr=%#x size=%d -> %s", id, cmd, addr, size, accepted(ok))
 	if ok {
 		if needsResp {
 			c.outstanding[id] = cmd
@@ -188,7 +190,9 @@ type checkedRequestor struct {
 
 func (r *checkedRequestor) RecvTimingResp(pkt *Packet) bool {
 	c := r.c
-	id, cmd := pkt.ID, pkt.Cmd
+	// Capture identity before delegating: the requestor owns the response and
+	// may Release the pooled packet as soon as it has consumed it.
+	id, cmd, addr := pkt.ID, pkt.Cmd, pkt.Addr
 	if c.respBlocked {
 		c.record("resp id=%d %s SENT-WHILE-BLOCKED", id, cmd)
 		c.violate("response id=%d (%s) delivered before RecvRespRetry", id, cmd)
@@ -201,7 +205,7 @@ func (r *checkedRequestor) RecvTimingResp(pkt *Packet) bool {
 			// never observed on this side of the restore).
 			c.record("resp id=%d %s pre-checkpoint (adopted)", id, cmd)
 			ok := r.inner.RecvTimingResp(pkt)
-			c.record("resp id=%d %s addr=%#x -> %s", id, cmd, pkt.Addr, accepted(ok))
+			c.record("resp id=%d %s addr=%#x -> %s", id, cmd, addr, accepted(ok))
 			if !ok {
 				c.respBlocked = true
 			}
@@ -215,7 +219,7 @@ func (r *checkedRequestor) RecvTimingResp(pkt *Packet) bool {
 		c.violate("response id=%d is %s for a %s request", id, cmd, req)
 	}
 	ok := r.inner.RecvTimingResp(pkt)
-	c.record("resp id=%d %s addr=%#x -> %s", id, cmd, pkt.Addr, accepted(ok))
+	c.record("resp id=%d %s addr=%#x -> %s", id, cmd, addr, accepted(ok))
 	if ok {
 		delete(c.outstanding, id)
 	} else {

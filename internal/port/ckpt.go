@@ -92,8 +92,8 @@ func (rq *RespQueue) SaveState(w *ckpt.Writer) error {
 	w.Section("port.respq")
 	w.Bool(rq.blocked)
 	sim.SaveEvent(w, rq.ev)
-	w.Int(len(rq.pending))
-	for _, qp := range rq.pending {
+	w.Int(rq.Len())
+	for _, qp := range rq.pending[rq.head:] {
 		SavePacket(w, qp.pkt)
 		w.U64(uint64(qp.when))
 	}
@@ -108,6 +108,7 @@ func (rq *RespQueue) RestoreState(r *ckpt.Reader) error {
 	rq.q.RestoreEvent(r, rq.ev)
 	n := r.Len()
 	rq.pending = rq.pending[:0]
+	rq.head = 0
 	for i := 0; i < n && r.Err() == nil; i++ {
 		pkt := LoadPacket(r)
 		rq.pending = append(rq.pending, queuedPkt{pkt, sim.Tick(r.U64())})

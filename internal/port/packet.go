@@ -34,6 +34,7 @@ const (
 	PrefetchReq
 )
 
+// String names the command for traces and error messages.
 func (c Cmd) String() string {
 	switch c {
 	case ReadReq:
@@ -67,6 +68,16 @@ func (c Cmd) NeedsResponse() bool { return c == ReadReq || c == WriteReq || c ==
 // Packet is the unit of communication between ports. A request packet is
 // turned into its response in place by MakeResponse, preserving identity so
 // senders can match responses to outstanding requests by pointer or ID.
+//
+// Ownership contract (see PERFORMANCE.md for the full model): a packet is
+// owned by whoever created it until it is delivered; delivery of a response
+// (or acceptance of a no-response request such as WritebackDirty) transfers
+// ownership to the receiver, who must copy out any payload it wants to keep
+// before returning. Packets obtained from a PacketPool are returned to their
+// pool with Release by the final owner — the creating requestor once it has
+// consumed the response, or the memory-side terminus for no-response
+// commands. Release on a non-pooled packet is a no-op, so termini may
+// release unconditionally.
 type Packet struct {
 	// ID is a unique (per PacketAllocator) identifier, handy for tracing.
 	ID uint64
@@ -84,6 +95,75 @@ type Packet struct {
 	RequestorID int
 
 	senderState []any
+
+	// pool, when non-nil, is the freelist this packet returns to on Release.
+	pool   *PacketPool
+	inPool bool
+}
+
+// PacketPool is a freelist of Packets for a single simulation's hot path.
+// Unlike sync.Pool it is deterministic (no GC-driven eviction), single-
+// threaded like the event queue that drives it, and checkpoint-safe: Get
+// mints a fresh ID from the same global counter as NewPacket, so the ID
+// sequence of a pooled run is bit-identical to an unpooled one, and restored
+// packets (LoadPacket) are simply unpooled.
+//
+// Pooled packets own their Data buffer: the capacity survives recycling, and
+// AllocateData zero-fills reused capacity so observable contents match a
+// fresh allocation. Callers must therefore never hand a pooled packet's Data
+// slice to a component that retains it past the packet's release — copy out
+// instead, which is what every delivery path in this codebase already does.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a packet with a fresh ID, either recycled or newly allocated.
+// The packet's Data is empty (length 0); use AllocateData or append to fill
+// it. The caller owns the packet until delivery transfers it (see Packet).
+func (pl *PacketPool) Get(cmd Cmd, addr uint64, size int) *Packet {
+	n := len(pl.free)
+	if n == 0 {
+		return &Packet{ID: packetID.Add(1), Cmd: cmd, Addr: addr, Size: size, pool: pl}
+	}
+	p := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	p.inPool = false
+	p.ID = packetID.Add(1)
+	p.Cmd = cmd
+	p.Addr = addr
+	p.Size = size
+	p.Data = p.Data[:0]
+	p.ReqTick = 0
+	p.RequestorID = 0
+	return p
+}
+
+// GetRead is shorthand for Get(ReadReq, addr, size).
+func (pl *PacketPool) GetRead(addr uint64, size int) *Packet {
+	return pl.Get(ReadReq, addr, size)
+}
+
+// Release returns a pooled packet to its freelist; it is a no-op for packets
+// not obtained from a PacketPool (NewPacket, LoadPacket), so termini can call
+// it unconditionally. Only the current owner may release, and the packet must
+// not be referenced afterwards: its ID, command and payload are reused by a
+// future Get. Releasing twice panics — that always indicates an ownership
+// bug. A packet whose pointer was captured by a checkpoint writer has already
+// been serialised by value, so releasing it afterwards is safe.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	if p.inPool {
+		panic("port: double Release of pooled packet")
+	}
+	for i := range p.senderState {
+		p.senderState[i] = nil
+	}
+	p.senderState = p.senderState[:0]
+	p.inPool = true
+	p.pool.free = append(p.pool.free, p)
 }
 
 // packetID is process-global and atomic: concurrent simulations (the
@@ -166,11 +246,23 @@ func (p *Packet) IsResponse() bool { return p.Cmd.IsResponse() }
 // NeedsResponse reports whether this packet must be answered.
 func (p *Packet) NeedsResponse() bool { return p.Cmd.NeedsResponse() }
 
-// AllocateData ensures p.Data has Size bytes (for reads being filled).
+// AllocateData ensures p.Data has Size bytes of zeroed-or-filled storage
+// (for reads being filled). Pooled packets reuse their recycled capacity,
+// zeroing it so contents are indistinguishable from a fresh allocation;
+// non-pooled packets keep the historical make() behaviour because their Data
+// may alias a caller's buffer that must not be scribbled on.
 func (p *Packet) AllocateData() {
-	if len(p.Data) != p.Size {
-		p.Data = make([]byte, p.Size)
+	if len(p.Data) == p.Size {
+		return
 	}
+	if p.pool != nil && cap(p.Data) >= p.Size {
+		p.Data = p.Data[:p.Size]
+		for i := range p.Data {
+			p.Data[i] = 0
+		}
+		return
+	}
+	p.Data = make([]byte, p.Size)
 }
 
 // BlockAddr returns the address rounded down to a blkSize boundary.

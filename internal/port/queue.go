@@ -14,7 +14,11 @@ type RespQueue struct {
 	port *ResponsePort
 	ev   *sim.Event
 
+	// pending[head:] holds the live queue. Delivered entries advance head
+	// instead of re-slicing, so the backing array is reused indefinitely;
+	// it resets to the front whenever the queue drains.
 	pending []queuedPkt
+	head    int
 	blocked bool
 }
 
@@ -39,10 +43,19 @@ func (rq *RespQueue) Schedule(pkt *Packet, when sim.Tick) {
 	if when < rq.q.Now() {
 		when = rq.q.Now()
 	}
+	if rq.head > 0 && len(rq.pending) == cap(rq.pending) {
+		// Reclaim the delivered prefix before the append would grow the array.
+		n := copy(rq.pending, rq.pending[rq.head:])
+		for j := n; j < len(rq.pending); j++ {
+			rq.pending[j] = queuedPkt{}
+		}
+		rq.pending = rq.pending[:n]
+		rq.head = 0
+	}
 	// Insert keeping the queue sorted by readiness time (stable for equal
 	// times, preserving issue order).
 	i := len(rq.pending)
-	for i > 0 && rq.pending[i-1].when > when {
+	for i > rq.head && rq.pending[i-1].when > when {
 		i--
 	}
 	rq.pending = append(rq.pending, queuedPkt{})
@@ -52,16 +65,16 @@ func (rq *RespQueue) Schedule(pkt *Packet, when sim.Tick) {
 }
 
 // Empty reports whether no responses are queued.
-func (rq *RespQueue) Empty() bool { return len(rq.pending) == 0 }
+func (rq *RespQueue) Empty() bool { return len(rq.pending) == rq.head }
 
 // Len returns the number of queued responses.
-func (rq *RespQueue) Len() int { return len(rq.pending) }
+func (rq *RespQueue) Len() int { return len(rq.pending) - rq.head }
 
 func (rq *RespQueue) arm() {
-	if rq.blocked || len(rq.pending) == 0 {
+	if rq.blocked || rq.Empty() {
 		return
 	}
-	when := rq.pending[0].when
+	when := rq.pending[rq.head].when
 	if rq.ev.Scheduled() {
 		if rq.ev.When() <= when {
 			return
@@ -72,14 +85,19 @@ func (rq *RespQueue) arm() {
 }
 
 func (rq *RespQueue) drain() {
-	for len(rq.pending) > 0 && rq.pending[0].when <= rq.q.Now() {
-		pkt := rq.pending[0].pkt
+	for rq.head < len(rq.pending) && rq.pending[rq.head].when <= rq.q.Now() {
+		pkt := rq.pending[rq.head].pkt
 		if !rq.port.SendTimingResp(pkt) {
 			// Peer refused: hold everything until RecvRespRetry.
 			rq.blocked = true
 			return
 		}
-		rq.pending = rq.pending[1:]
+		rq.pending[rq.head] = queuedPkt{}
+		rq.head++
+	}
+	if rq.head == len(rq.pending) {
+		rq.pending = rq.pending[:0]
+		rq.head = 0
 	}
 	rq.arm()
 }

@@ -116,8 +116,8 @@ func (r *RTLObject) SaveState(w *ckpt.Writer) error {
 		SaveMemRequest(w, &txn.req)
 		w.U64(uint64(txn.issued))
 	}
-	w.Int(len(r.sendQ))
-	for i := range r.sendQ {
+	w.Int(len(r.sendQ) - r.sendHead)
+	for i := r.sendHead; i < len(r.sendQ); i++ {
 		SaveMemRequest(w, &r.sendQ[i])
 	}
 	for i := range r.blocked {
@@ -178,6 +178,7 @@ func (r *RTLObject) RestoreState(rd *ckpt.Reader) error {
 	}
 	n = rd.Len()
 	r.sendQ = nil
+	r.sendHead = 0
 	for i := 0; i < n && rd.Err() == nil; i++ {
 		r.sendQ = append(r.sendQ, LoadMemRequest(rd))
 	}

@@ -159,16 +159,29 @@ type RTLObject struct {
 	memPorts [NumMemPorts]*port.RequestPort
 	respQs   [NumCPUPorts]*port.RespQueue
 
-	// Wrapper exchange state.
+	// Wrapper exchange state. pendingCPU/pendingResp backing arrays are
+	// reused across ticks (reset to length zero after each exchange); the
+	// Input handed to the wrapper is therefore only valid during the Tick
+	// call, matching the paper's void*-struct protocol. Wrappers that keep
+	// entries beyond the call must copy the elements (element copies stay
+	// valid — only the backing array is recycled).
 	pendingCPU  []CPURequest
 	pendingResp []MemResponse
+	in          Input                   // reused Input handed to Wrapper.Tick
 	cpuPkts     map[uint64]*port.Packet // CPU request ID -> original packet
 	cpuPktPort  map[uint64]int
 	nextCPUID   uint64
 
-	// Memory-side outstanding and overflow queue.
+	// Memory-side outstanding and overflow queue. sendQ drains from
+	// sendHead instead of re-slicing so the backing array is reused;
+	// txnFree recycles memTxn records and pool recycles DMA read packets
+	// (write packets stay unpooled: their Data aliases the wrapper's
+	// request buffer, which checkpoints and posted-write queues may retain).
 	inflight map[uint64]*memTxn
 	sendQ    []MemRequest
+	sendHead int
+	txnFree  []*memTxn
+	pool     port.PacketPool
 	blocked  [NumMemPorts]bool
 
 	irqLevel bool
@@ -246,20 +259,32 @@ func (r *RTLObject) Stop() { r.ticker.Stop() }
 // tick is the per-model-cycle event: exchange structs with the wrapper and
 // move packets (§3.4's tick event function).
 func (r *RTLObject) tick(cycle uint64) bool {
-	in := &Input{
+	r.in = Input{
 		Cycle:        cycle,
 		MemResponses: r.pendingResp,
 		CPURequests:  r.pendingCPU,
 	}
-	r.pendingResp = nil
-	r.pendingCPU = nil
-	out := r.wrapper.Tick(in)
+	// Keep the backing arrays: the wrapper consumes the batch during Tick,
+	// so the next tick can refill the same storage.
+	r.pendingResp = r.pendingResp[:0]
+	r.pendingCPU = r.pendingCPU[:0]
+	out := r.wrapper.Tick(&r.in)
 	r.stats.Ticks++
 	if out != nil {
 		for _, resp := range out.CPUResponses {
 			r.completeCPU(resp)
 		}
 		if len(out.MemRequests) > 0 {
+			// Compact the drained prefix before growing the queue so the
+			// backing array is reused instead of reallocated.
+			if r.sendHead > 0 && len(r.sendQ)+len(out.MemRequests) > cap(r.sendQ) {
+				n := copy(r.sendQ, r.sendQ[r.sendHead:])
+				for i := n; i < len(r.sendQ); i++ {
+					r.sendQ[i] = MemRequest{}
+				}
+				r.sendQ = r.sendQ[:n]
+				r.sendHead = 0
+			}
 			r.sendQ = append(r.sendQ, out.MemRequests...)
 		}
 		if out.Interrupt != r.irqLevel {
@@ -282,12 +307,12 @@ func (r *RTLObject) tick(cycle uint64) bool {
 // pumpMem issues queued memory requests subject to the in-flight cap and
 // port back-pressure.
 func (r *RTLObject) pumpMem() {
-	for len(r.sendQ) > 0 {
+	for r.sendHead < len(r.sendQ) {
 		if r.cfg.MaxInflight > 0 && len(r.inflight) >= r.cfg.MaxInflight {
 			r.stats.StallCycles++
 			return
 		}
-		req := r.sendQ[0]
+		req := r.sendQ[r.sendHead]
 		if req.Port < 0 || req.Port >= NumMemPorts {
 			panic(fmt.Sprintf("rtlobject %s: bad mem port %d", r.cfg.Name, req.Port))
 		}
@@ -300,14 +325,16 @@ func (r *RTLObject) pumpMem() {
 		}
 		var pkt *port.Packet
 		if req.Write {
+			// Unpooled: the packet aliases the wrapper's payload buffer.
 			pkt = port.NewWritePacket(addr, req.Data)
 		} else {
-			pkt = port.NewReadPacket(addr, req.Size)
+			pkt = r.pool.GetRead(addr, req.Size)
 		}
 		pkt.ReqTick = r.q.Now()
 		pkt.PushSenderState(req.ID)
 		if !r.memPorts[req.Port].SendTimingReq(pkt) {
 			pkt.PopSenderState()
+			pkt.Release()
 			r.blocked[req.Port] = true
 			return
 		}
@@ -315,7 +342,15 @@ func (r *RTLObject) pumpMem() {
 			r.trace.Logf("mem issue id=%d port=%d write=%v addr=%#x (%d inflight)",
 				req.ID, req.Port, req.Write, addr, len(r.inflight)+1)
 		}
-		r.inflight[req.ID] = &memTxn{req: req, issued: r.q.Now()}
+		var txn *memTxn
+		if n := len(r.txnFree); n > 0 {
+			txn = r.txnFree[n-1]
+			r.txnFree = r.txnFree[:n-1]
+			*txn = memTxn{req: req, issued: r.q.Now()}
+		} else {
+			txn = &memTxn{req: req, issued: r.q.Now()}
+		}
+		r.inflight[req.ID] = txn
 		if req.Write {
 			r.stats.MemWrites++
 			r.stats.MemWriteBytes += uint64(len(req.Data))
@@ -323,7 +358,14 @@ func (r *RTLObject) pumpMem() {
 			r.stats.MemReads++
 			r.stats.MemReadBytes += uint64(req.Size)
 		}
-		r.sendQ = r.sendQ[1:]
+		// Drain from the head, clearing the slot so the retired request's
+		// Data buffer is not pinned by the queue.
+		r.sendQ[r.sendHead] = MemRequest{}
+		r.sendHead++
+		if r.sendHead == len(r.sendQ) {
+			r.sendQ = r.sendQ[:0]
+			r.sendHead = 0
+		}
 	}
 }
 
@@ -331,7 +373,7 @@ func (r *RTLObject) pumpMem() {
 func (r *RTLObject) InflightCount() int { return len(r.inflight) }
 
 // QueuedCount reports memory requests waiting behind the in-flight cap.
-func (r *RTLObject) QueuedCount() int { return len(r.sendQ) }
+func (r *RTLObject) QueuedCount() int { return len(r.sendQ) - r.sendHead }
 
 func (r *RTLObject) completeCPU(resp CPUResponse) {
 	pkt, ok := r.cpuPkts[resp.ID]
@@ -402,8 +444,14 @@ func (m *memSide) RecvTimingResp(pkt *port.Packet) bool {
 	r.stats.RetiredMem++
 	resp := MemResponse{ID: id, Write: txn.req.Write, Latency: lat}
 	if pkt.Cmd == port.ReadResp {
+		// Individually allocated: wrappers may retain response payloads.
 		resp.Data = append([]byte(nil), pkt.Data...)
 	}
+	txn.req = MemRequest{} // drop the Data reference before recycling
+	r.txnFree = append(r.txnFree, txn)
+	// The payload has been copied out; recycle the pooled read packet
+	// (no-op for unpooled write packets).
+	pkt.Release()
 	r.pendingResp = append(r.pendingResp, resp)
 	// Retiring a request may unblock the overflow queue immediately.
 	r.pumpMem()

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"gem5rtl/internal/ckpt"
@@ -30,9 +29,9 @@ func (q *EventQueue) SaveState(w *ckpt.Writer) error {
 // clock, and the restored sequence counter guarantees that events scheduled
 // after the restore order behind every re-materialised one.
 func (q *EventQueue) RestoreState(r *ckpt.Reader) error {
-	if q.now != 0 || len(q.heap) != 0 || q.dispatched != 0 {
+	if q.now != 0 || q.Pending() != 0 || q.dispatched != 0 {
 		return fmt.Errorf("sim: queue restore requires a pristine queue (now=%d, pending=%d, dispatched=%d)",
-			q.now, len(q.heap), q.dispatched)
+			q.now, q.Pending(), q.dispatched)
 	}
 	r.Section("sim.eventq")
 	q.now = Tick(r.U64())
@@ -45,9 +44,9 @@ func (q *EventQueue) RestoreState(r *ckpt.Reader) error {
 
 // RestoreSchedule inserts e with an explicit (when, seq) pair captured by a
 // checkpoint. Unlike Schedule it does not mint a fresh sequence number:
-// keeping the saved one makes heap ordering independent of the order in which
-// components happen to re-materialise their events. The queue's own counter
-// is bumped past seq so post-restore Schedule calls cannot collide.
+// keeping the saved one makes dispatch ordering independent of the order in
+// which components happen to re-materialise their events. The queue's own
+// counter is bumped past seq so post-restore Schedule calls cannot collide.
 func (q *EventQueue) RestoreSchedule(e *Event, when Tick, seq uint64) {
 	if e.scheduled {
 		panic(fmt.Sprintf("sim: restoring already-scheduled event %q", e.name))
@@ -55,10 +54,8 @@ func (q *EventQueue) RestoreSchedule(e *Event, when Tick, seq uint64) {
 	if when < q.now {
 		panic(fmt.Sprintf("sim: event %q restored at %d, before now %d", e.name, when, q.now))
 	}
-	e.when = when
 	e.seq = seq
-	e.scheduled = true
-	heap.Push(&q.heap, e)
+	q.insert(e, when)
 	if seq >= q.seq {
 		q.seq = seq + 1
 	}

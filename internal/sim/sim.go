@@ -3,11 +3,33 @@
 // simulated time is counted in integer Ticks (1 tick = 1 picosecond), events
 // are ordered by (tick, priority, insertion sequence), and a single queue
 // drives the whole system deterministically.
+//
+// # Queue internals
+//
+// The queue is a hybrid calendar/heap structure tuned for the simulator's
+// event mix (see PERFORMANCE.md for the model and measurements):
+//
+//   - Near-future events — clock edges, port-queue drains, cache and memory
+//     completions, everything within calWindow ticks of now — live in a
+//     calendar ring with one slot per tick. Insertion and removal are O(1)
+//     plus an insertion sort over the handful of events sharing one tick, and
+//     dispatching a tick drains its slot as a batch with no per-event heap
+//     churn. An occupancy bitmap makes "find the next non-empty tick" a few
+//     word scans.
+//   - Far-future events — sleep syscall wake-ups, periodic context checks —
+//     fall back to a conventional binary heap and migrate into the ring only
+//     when their tick comes up for dispatch.
+//
+// Both structures order events identically, so the dispatch order is
+// bit-identical to a pure-heap queue; TestCalendarMatchesReferenceHeap and
+// the kernel golden-state tests hold the two implementations to the same
+// StateHash.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -36,27 +58,54 @@ const (
 	PriMinFirst = -1 << 30
 )
 
+// Calendar-ring geometry. The window must comfortably cover the recurring
+// near-future distances of the simulated SoC — clock periods (500–2000
+// ticks), cache latencies (1000–10000 ticks) and DRAM round-trips (tens of
+// nanoseconds) — so that only genuinely far events (microsecond sleeps,
+// 100 us context checks) pay the heap. 2^16 ticks = 65.536 ns.
+const (
+	calWindowBits = 16
+	calWindow     = Tick(1) << calWindowBits
+	calMask       = uint64(calWindow) - 1
+)
+
 // Event is a schedulable unit of work. Create events with NewEvent (or
 // EventQueue.ScheduleFunc) and schedule them on exactly one queue at a time.
+//
+// Ownership contract: an Event belongs to the component that created it and
+// may be freely rescheduled once it is no longer pending (after dispatch, or
+// after Deschedule). Events obtained through ScheduleOneShot are owned by the
+// queue and are recycled immediately after dispatch — callers never see them
+// and must not retain references from inside their own callbacks.
 type Event struct {
-	name      string
-	fn        func()
-	when      Tick
-	prio      int
-	seq       uint64
-	index     int // heap index; -1 when not scheduled
+	name string
+	fn   func()
+	when Tick
+	prio int
+	seq  uint64
+	// index is the event's far-heap position, or one of the sentinel states
+	// below when it is not in the heap.
+	index     int
+	next      *Event // intrusive link: calendar slot list, or queue freelist
 	scheduled bool
+	oneShot   bool
 }
+
+// Event.index sentinels.
+const (
+	idxUnscheduled = -1
+	idxNearRing    = -2
+)
 
 // NewEvent returns an unscheduled event that runs fn when dispatched.
 // The name is used in error messages and debugging output only.
 func NewEvent(name string, fn func()) *Event {
-	return &Event{name: name, fn: fn, index: -1}
+	return &Event{name: name, fn: fn, index: idxUnscheduled}
 }
 
 // NewEventPri is NewEvent with an explicit intra-tick priority.
 func NewEventPri(name string, prio int, fn func()) *Event {
-	return &Event{name: name, fn: fn, prio: prio, index: -1}
+	return &Event{name: name, fn: fn, prio: prio, index: idxUnscheduled}
 }
 
 // Name returns the event's debug name.
@@ -68,6 +117,15 @@ func (e *Event) Scheduled() bool { return e.scheduled }
 // When returns the tick the event is scheduled for. Only meaningful while
 // Scheduled() is true.
 func (e *Event) When() Tick { return e.when }
+
+// before orders two events scheduled for the same tick: by priority, then by
+// insertion sequence (FIFO among equals). It must agree with eventHeap.Less.
+func (e *Event) before(o *Event) bool {
+	if e.prio != o.prio {
+		return e.prio < o.prio
+	}
+	return e.seq < o.seq
+}
 
 type eventHeap []*Event
 
@@ -97,16 +155,16 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
+	e.index = idxUnscheduled
 	*h = old[:n-1]
 	return e
 }
 
 // EventQueue is a deterministic single-threaded event queue. The zero value
-// is not usable; construct with NewEventQueue.
+// is not usable; construct with NewEventQueue (or, for differential testing
+// against the historical pure-heap dispatcher, NewReferenceEventQueue).
 type EventQueue struct {
 	now        Tick
-	heap       eventHeap
 	seq        uint64
 	exitReason string
 	exitSet    bool
@@ -114,11 +172,60 @@ type EventQueue struct {
 	// strictly single-threaded, so read it only from the sim goroutine
 	// (host-side monitors aggregate it post-run via obs.CountEvents).
 	dispatched uint64
+
+	// Calendar ring: slot i holds the (prio, seq)-sorted intrusive list of
+	// events at the unique tick t in [now, now+calWindow) with t mod
+	// calWindow == i. bits mirrors slot occupancy for fast next-tick scans.
+	slots     []*Event
+	bits      []uint64
+	nearCount int
+	// nearNext caches the earliest ring tick; nearDirty forces a bitmap
+	// rescan after the slot holding nearNext drains.
+	nearNext  Tick
+	nearDirty bool
+
+	// far holds events at least calWindow ticks ahead (and everything when
+	// ref is set). Far events migrate into the ring when their tick comes up.
+	far eventHeap
+
+	// freeEvents recycles one-shot events dispatched via ScheduleOneShot.
+	freeEvents *Event
+
+	// ref selects the reference pure-heap dispatcher (NewReferenceEventQueue).
+	ref bool
 }
 
 // NewEventQueue returns an empty queue positioned at tick 0.
 func NewEventQueue() *EventQueue {
-	return &EventQueue{}
+	if referenceMode {
+		return NewReferenceEventQueue()
+	}
+	return &EventQueue{
+		slots: make([]*Event, calWindow),
+		bits:  make([]uint64, calWindow/64),
+	}
+}
+
+// NewReferenceEventQueue returns a queue that dispatches purely from the
+// binary heap, bypassing the calendar ring. It exists so tests (and the
+// kernel benchmark harness) can prove the hybrid queue reproduces the
+// historical dispatch order bit-for-bit; simulations should use
+// NewEventQueue.
+func NewReferenceEventQueue() *EventQueue {
+	return &EventQueue{ref: true}
+}
+
+// referenceMode switches NewEventQueue-constructed queues to reference
+// dispatch for code paths that build their own queues internally (soc.Build).
+// Test-only; see UseReferenceQueueForTest.
+var referenceMode bool
+
+// UseReferenceQueueForTest makes every subsequently constructed EventQueue a
+// reference (pure-heap) queue while on. It is NOT safe to toggle while
+// simulations are running and exists solely for differential determinism
+// tests that drive full systems through constructors they do not control.
+func UseReferenceQueueForTest(on bool) {
+	referenceMode = on
 }
 
 // Now returns the current simulated time.
@@ -130,41 +237,208 @@ func (q *EventQueue) Now() Tick { return q.now }
 func (q *EventQueue) Dispatched() uint64 { return q.dispatched }
 
 // Empty reports whether no events are pending.
-func (q *EventQueue) Empty() bool { return len(q.heap) == 0 }
+func (q *EventQueue) Empty() bool { return q.nearCount == 0 && len(q.far) == 0 }
 
 // Pending returns the number of scheduled events.
-func (q *EventQueue) Pending() int { return len(q.heap) }
+func (q *EventQueue) Pending() int { return q.nearCount + len(q.far) }
 
-// Schedule inserts e at absolute time when. Scheduling into the past or
-// double-scheduling an event is a programming error and panics, as the
-// resulting simulation would be non-causal.
+// Schedule inserts e at absolute time when. Scheduling into the past is a
+// programming error and panics, as the resulting simulation would be
+// non-causal.
+//
+// Contract: an event may be pending on at most one (queue, tick) at a time.
+// Scheduling an already-pending event panics, naming the event and both the
+// pending and requested ticks; use Reschedule to move a pending event, or
+// Deschedule it first. An event becomes schedulable again the moment its
+// callback starts executing, so self-rescheduling tickers are fine.
 func (q *EventQueue) Schedule(e *Event, when Tick) {
 	if e.scheduled {
-		panic(fmt.Sprintf("sim: event %q already scheduled for %d", e.name, e.when))
+		panic(fmt.Sprintf("sim: event %q already scheduled for tick %d, cannot schedule for tick %d (use Reschedule, or Deschedule first)",
+			e.name, e.when, when))
 	}
 	if when < q.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %d, before now %d", e.name, when, q.now))
 	}
-	e.when = when
 	e.seq = q.seq
 	q.seq++
+	q.insert(e, when)
+}
+
+// insert files e (whose seq is already assigned) under its time class.
+func (q *EventQueue) insert(e *Event, when Tick) {
+	e.when = when
 	e.scheduled = true
-	heap.Push(&q.heap, e)
+	if q.ref || when-q.now >= calWindow {
+		heap.Push(&q.far, e)
+		return
+	}
+	q.insertNear(e)
+}
+
+// insertNear links e into its calendar slot, keeping the slot list sorted by
+// (prio, seq) so same-tick dispatch order matches the reference heap.
+func (q *EventQueue) insertNear(e *Event) {
+	e.index = idxNearRing
+	si := uint64(e.when) & calMask
+	head := q.slots[si]
+	switch {
+	case head == nil:
+		e.next = nil
+		q.slots[si] = e
+		q.bits[si>>6] |= 1 << (si & 63)
+	case e.before(head):
+		e.next = head
+		q.slots[si] = e
+	default:
+		p := head
+		for p.next != nil && p.next.before(e) {
+			p = p.next
+		}
+		e.next = p.next
+		p.next = e
+	}
+	q.nearCount++
+	if q.nearCount == 1 {
+		q.nearNext = e.when
+		q.nearDirty = false
+	} else if !q.nearDirty && e.when < q.nearNext {
+		q.nearNext = e.when
+	}
+}
+
+// removeNear unlinks a pending ring event (Deschedule support).
+func (q *EventQueue) removeNear(e *Event) {
+	si := uint64(e.when) & calMask
+	head := q.slots[si]
+	if head == e {
+		q.slots[si] = e.next
+	} else {
+		p := head
+		for p.next != e {
+			p = p.next
+		}
+		p.next = e.next
+	}
+	e.next = nil
+	e.index = idxUnscheduled
+	q.nearCount--
+	if q.slots[si] == nil {
+		q.bits[si>>6] &^= 1 << (si & 63)
+		if e.when == q.nearNext {
+			q.nearDirty = true
+		}
+	}
+}
+
+// scanNear finds the earliest non-empty ring tick at or after now. It must
+// only be called while nearCount > 0.
+func (q *EventQueue) scanNear() Tick {
+	base := uint64(q.now) & calMask
+	wi := base >> 6
+	nw := uint64(len(q.bits))
+	// First word: ignore slots before now's slot.
+	if w := q.bits[wi] &^ (1<<(base&63) - 1); w != 0 {
+		slot := wi<<6 + uint64(bits.TrailingZeros64(w))
+		return q.now + Tick((slot-base)&calMask)
+	}
+	for i := uint64(1); i <= nw; i++ {
+		j := (wi + i) % nw
+		w := q.bits[j]
+		if j == wi {
+			// Wrapped all the way around: only slots before base remain.
+			w &= 1<<(base&63) - 1
+		}
+		if w != 0 {
+			slot := j<<6 + uint64(bits.TrailingZeros64(w))
+			return q.now + Tick((slot-base)&calMask)
+		}
+	}
+	panic("sim: scanNear with empty ring")
+}
+
+// NextEventTick returns the tick of the next pending event, or false when the
+// queue is empty. It does not disturb the queue and is the introspection hook
+// RunUntil and external pacing loops use.
+func (q *EventQueue) NextEventTick() (Tick, bool) {
+	var t Tick
+	ok := false
+	if q.nearCount > 0 {
+		if q.nearDirty {
+			q.nearNext = q.scanNear()
+			q.nearDirty = false
+		}
+		t = q.nearNext
+		ok = true
+	}
+	if len(q.far) > 0 && (!ok || q.far[0].when < t) {
+		t = q.far[0].when
+		ok = true
+	}
+	return t, ok
+}
+
+// migrateFar moves every far-heap event scheduled exactly at t into t's ring
+// slot. Heap pops yield them in (prio, seq) order, so the sorted slot insert
+// merges them with any ring events already at t in reference order.
+func (q *EventQueue) migrateFar(t Tick) {
+	for len(q.far) > 0 && q.far[0].when == t {
+		e := heap.Pop(&q.far).(*Event)
+		q.insertNear(e)
+	}
 }
 
 // ScheduleFunc creates, schedules, and returns a one-shot event running fn.
+// The returned event is caller-owned (it can be descheduled or rescheduled);
+// use ScheduleOneShot when no handle is needed — it recycles events through
+// an internal freelist and is allocation-free in steady state.
 func (q *EventQueue) ScheduleFunc(name string, when Tick, fn func()) *Event {
 	e := NewEvent(name, fn)
 	q.Schedule(e, when)
 	return e
 }
 
-// Deschedule removes a pending event from the queue.
+// ScheduleOneShot schedules fn to run once at the given absolute tick using
+// a queue-owned pooled event. No handle is returned: the event cannot be
+// descheduled, and it is recycled into the queue's freelist as soon as the
+// callback returns (unless the callback re-scheduled it, which only the
+// queue itself can observe). Use it for fire-and-forget work — fault
+// injections, delayed retries — where ScheduleFunc's per-call allocation
+// would accumulate.
+func (q *EventQueue) ScheduleOneShot(name string, when Tick, fn func()) {
+	e := q.freeEvents
+	if e != nil {
+		q.freeEvents = e.next
+		e.next = nil
+		e.name = name
+		e.fn = fn
+		e.prio = PriDefault
+	} else {
+		e = &Event{name: name, fn: fn, index: idxUnscheduled, oneShot: true}
+	}
+	q.Schedule(e, when)
+}
+
+// recycleEvent returns a dispatched one-shot event to the freelist, dropping
+// the callback so captured state is not retained.
+func (q *EventQueue) recycleEvent(e *Event) {
+	e.fn = nil
+	e.name = ""
+	e.next = q.freeEvents
+	q.freeEvents = e
+}
+
+// Deschedule removes a pending event from the queue. The event may be
+// scheduled again afterwards. Descheduling an event that is not pending
+// panics.
 func (q *EventQueue) Deschedule(e *Event) {
 	if !e.scheduled {
 		panic(fmt.Sprintf("sim: descheduling unscheduled event %q", e.name))
 	}
-	heap.Remove(&q.heap, e.index)
+	if e.index >= 0 {
+		heap.Remove(&q.far, e.index)
+	} else {
+		q.removeNear(e)
+	}
 	e.scheduled = false
 }
 
@@ -180,14 +454,53 @@ func (q *EventQueue) Reschedule(e *Event, when Tick) {
 // Step dispatches the single next event. It returns false when the queue is
 // empty or an exit has been requested.
 func (q *EventQueue) Step() bool {
-	if q.exitSet || len(q.heap) == 0 {
+	if q.exitSet {
 		return false
 	}
-	e := heap.Pop(&q.heap).(*Event)
+	if q.ref {
+		return q.stepRef()
+	}
+	t, ok := q.NextEventTick()
+	if !ok {
+		return false
+	}
+	q.now = t
+	if len(q.far) > 0 && q.far[0].when == t {
+		q.migrateFar(t)
+	}
+	si := uint64(t) & calMask
+	e := q.slots[si]
+	q.slots[si] = e.next
+	if e.next == nil {
+		q.bits[si>>6] &^= 1 << (si & 63)
+		q.nearDirty = true
+	}
+	e.next = nil
+	e.index = idxUnscheduled
+	e.scheduled = false
+	q.nearCount--
+	q.dispatched++
+	e.fn()
+	if e.oneShot && !e.scheduled {
+		q.recycleEvent(e)
+	}
+	return true
+}
+
+// stepRef is the reference pure-heap dispatcher (the pre-calendar-queue
+// implementation, kept for differential testing).
+func (q *EventQueue) stepRef() bool {
+	if len(q.far) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.far).(*Event)
 	q.now = e.when
 	e.scheduled = false
 	q.dispatched++
 	e.fn()
+	if e.oneShot && !e.scheduled {
+		q.recycleEvent(e)
+	}
 	return true
 }
 
@@ -218,8 +531,16 @@ func (q *EventQueue) Run() string {
 // introspection hook — the liveness watchdog dumps it when a simulation
 // wedges — and does not disturb the queue.
 func (q *EventQueue) PendingSummaries(max int) []string {
-	evs := make([]*Event, len(q.heap))
-	copy(evs, q.heap)
+	evs := make([]*Event, 0, q.Pending())
+	evs = append(evs, q.far...)
+	for si, head := range q.slots {
+		if q.bits[si>>6]&(1<<(uint(si)&63)) == 0 {
+			continue
+		}
+		for e := head; e != nil; e = e.next {
+			evs = append(evs, e)
+		}
+	}
 	sort.Slice(evs, func(i, j int) bool {
 		a, b := evs[i], evs[j]
 		if a.when != b.when {
@@ -243,7 +564,11 @@ func (q *EventQueue) PendingSummaries(max int) []string {
 // RunUntil dispatches events with tick <= limit. Time advances to limit if
 // the queue drains earlier. Returns the exit reason ("" if none).
 func (q *EventQueue) RunUntil(limit Tick) string {
-	for !q.exitSet && len(q.heap) > 0 && q.heap[0].when <= limit {
+	for !q.exitSet {
+		t, ok := q.NextEventTick()
+		if !ok || t > limit {
+			break
+		}
 		q.Step()
 	}
 	if !q.exitSet && q.now < limit {

@@ -107,12 +107,25 @@ func Build(name string, layers []Layer) *Trace {
 
 func regw(addr uint64, val uint32) Op { return Op{Kind: OpWriteReg, Addr: addr, Val: val} }
 
+// pattern fills n bytes with the affine byte recurrence v' = 31v + 7 from
+// seed. The map is a permutation of Z/256, so the sequence is purely cyclic
+// with period at most 256: generate one period, then extend it with
+// doubling copies (memmove speed) instead of the scalar recurrence —
+// multi-MiB workload payloads otherwise dominate sweep build time.
 func pattern(n int, seed byte) []byte {
 	b := make([]byte, n)
 	v := seed
+	period := 0
 	for i := range b {
 		b[i] = v
 		v = v*31 + 7
+		if v == seed {
+			period = i + 1
+			break
+		}
+	}
+	for filled := period; filled > 0 && filled < n; filled *= 2 {
+		copy(b[filled:], b[:filled])
 	}
 	return b
 }
