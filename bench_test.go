@@ -28,7 +28,7 @@ func BenchmarkFigure5_PMUvsGem5(b *testing.B) {
 	p := experiments.Fig5Params{N: 60, SleepUs: 50, IntervalCycles: 5000}
 	var maxDiff, samples float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure5(p)
+		res, err := experiments.RunFigure5Ctx(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,14 +69,14 @@ func BenchmarkTable2(b *testing.B) {
 // dsePoint runs a single DSE cell and reports its normalised performance.
 func dsePoint(b *testing.B, workload string, n int, mem string, inflight int) {
 	b.Helper()
-	ideal, err := experiments.RunDSEPoint(workload, n, "ideal", inflight, benchDSE)
+	ideal, err := experiments.Run(context.Background(), benchDSE.Spec(workload, n, "ideal", inflight))
 	if err != nil {
 		b.Fatal(err)
 	}
 	var t sim.Tick
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t, err = experiments.RunDSEPoint(workload, n, mem, inflight, benchDSE)
+		t, err = experiments.Run(context.Background(), benchDSE.Spec(workload, n, mem, inflight))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,8 +150,8 @@ func BenchmarkSweep(b *testing.B) {
 	b.Run("workers=1/warm-start", func(b *testing.B) {
 		// Snapshot each point at 2µs simulated — most of the scale-32
 		// sanity3 runs — and restore it on every timed iteration.
-		r := experiments.Runner{Workers: 1, Warmup: 2 * sim.Microsecond,
-			Ckpts: experiments.NewCheckpointCache("")}
+		r := experiments.Runner{Workers: 1, Options: []experiments.Option{
+			experiments.WithWarmStart(2*sim.Microsecond, experiments.NewCheckpointCache(""))}}
 		if _, err := r.Sweep(context.Background(), specs); err != nil {
 			b.Fatal(err) // populate the cache outside the timing loop
 		}
@@ -174,14 +174,14 @@ func BenchmarkTable3(b *testing.B) {
 		})
 		b.Run("gem5+NVDLA+perfect-memory/"+wl, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunDSEPoint(wl, 1, "ideal", 240, benchDSE); err != nil {
+				if _, err := experiments.Run(context.Background(), benchDSE.Spec(wl, 1, "ideal", 240)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run("gem5+NVDLA+DDR4/"+wl, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunDSEPoint(wl, 1, "DDR4-4ch", 240, benchDSE); err != nil {
+				if _, err := experiments.Run(context.Background(), benchDSE.Spec(wl, 1, "DDR4-4ch", 240)); err != nil {
 					b.Fatal(err)
 				}
 			}

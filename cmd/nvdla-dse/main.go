@@ -57,6 +57,12 @@ func main() {
 	}
 
 	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
+	// Shared spec validation: a bad -workload/-scale fails here with the
+	// same message the sweep service's submit endpoint would produce.
+	if err := p.Spec(*workload, 1, "ideal", 1).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
+		os.Exit(2)
+	}
 	r := experiments.Runner{Workers: *parallel}
 	if *hostMetrics != "" {
 		f, err := os.Create(*hostMetrics)
@@ -67,12 +73,14 @@ func main() {
 		defer f.Close()
 		r.Monitor = &obs.HostMonitor{W: f}
 	}
+	var cache *experiments.CheckpointCache
 	if *ckptAt > 0 {
-		r.Warmup = sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond
-		r.Ckpts = experiments.NewCheckpointCache(*ckptDir)
+		cache = experiments.NewCheckpointCache(*ckptDir)
+		r.Options = append(r.Options, experiments.WithWarmStart(
+			sim.Tick(ckptAt.Nanoseconds())*sim.Nanosecond, cache))
 	}
 	if *watchdog {
-		r.Guard = &guard.Config{}
+		r.Options = append(r.Options, experiments.WithWatchdog(guard.Config{}))
 	}
 	if *verbose {
 		r.Report = func(s string) { fmt.Fprintln(os.Stderr, s) }
@@ -86,6 +94,11 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "# %d points in %s host time (%d workers)\n",
 			len(points), time.Since(start).Round(time.Millisecond), *parallel)
+		if cache != nil {
+			cs := cache.Stats()
+			fmt.Fprintf(os.Stderr, "# warm-start cache: %d hits, %d misses, %d stale\n",
+				cs.Hits, cs.Misses, cs.Stale)
+		}
 	}
 
 	fig := "Figure 6"

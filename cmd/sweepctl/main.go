@@ -1,0 +1,282 @@
+// Command sweepctl is the sweepd client and its in-process twin. It submits
+// RunSpec batches to a running server, watches their progress, and fetches
+// canonical results — or runs the same batch locally through
+// experiments.Runner, producing a byte-identical results document, so a
+// served sweep can be diffed against an in-process one:
+//
+//	sweepctl grid | sweepctl submit -addr http://localhost:8080 -wait > served.json
+//	sweepctl grid | sweepctl local > local.json
+//	diff served.json local.json
+//
+// Subcommands:
+//
+//	grid           print a spec batch (the 12-config NVDLA grid by default)
+//	submit         POST a batch from stdin; -wait polls and prints results
+//	status         print one job's status
+//	results        print one job's canonical results
+//	watch          stream one job's live JSONL progress
+//	cancel         cancel a job (queued points are skipped)
+//	local          run a batch from stdin in-process and print results
+//	server-status  print server-wide status
+//	drain          stop the server's intake and let the queue finish
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/sweepd"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "grid":
+		err = cmdGrid(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "status":
+		err = cmdJobGet(args, "", "status")
+	case "results":
+		err = cmdJobGet(args, "/results", "results")
+	case "watch":
+		err = cmdJobGet(args, "/stream", "watch")
+	case "cancel":
+		err = cmdCancel(args)
+	case "local":
+		err = cmdLocal(args)
+	case "server-status":
+		err = cmdServer(args, http.MethodGet, "/v1/status", "server-status")
+	case "drain":
+		err = cmdServer(args, http.MethodPost, "/v1/drain", "drain")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sweepctl {grid|submit|status|results|watch|cancel|local|server-status|drain} [flags]")
+	os.Exit(2)
+}
+
+// cmdGrid prints a spec batch: by default the 12-config NVDLA grid
+// (sanity3, one accelerator, {DDR4-1ch, DDR4-4ch, HBM} × {1, 16, 64, 240}).
+func cmdGrid(args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ExitOnError)
+	workload := fs.String("workload", "sanity3", "workload for every point")
+	n := fs.Int("n", 1, "accelerator instances per point")
+	scale := fs.Int("scale", 32, "trace footprint divisor")
+	mems := fs.String("mems", "DDR4-1ch,DDR4-4ch,HBM", "comma-separated memory technologies")
+	inflights := fs.String("inflights", "1,16,64,240", "comma-separated in-flight caps")
+	fs.Parse(args)
+
+	p := experiments.DSEParams{Scale: *scale, Limit: 8 * sim.Second}
+	var specs []experiments.RunSpec
+	for _, infStr := range strings.Split(*inflights, ",") {
+		var inf int
+		if _, err := fmt.Sscanf(strings.TrimSpace(infStr), "%d", &inf); err != nil {
+			return fmt.Errorf("bad -inflights entry %q", infStr)
+		}
+		for _, mem := range strings.Split(*mems, ",") {
+			spec := p.Spec(*workload, *n, strings.TrimSpace(mem), inf)
+			if err := spec.Validate(); err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	buf, err := json.MarshalIndent(specs, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(buf))
+	return nil
+}
+
+// readSpecs parses a strict spec batch from stdin.
+func readSpecs() ([]experiments.RunSpec, error) {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ParseSpecs(data)
+}
+
+// cmdSubmit posts a batch; with -wait it polls to completion and prints the
+// canonical results document (byte-identical to `sweepctl local`).
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "sweepd base URL")
+	client := fs.String("client", "", "client name for quota accounting")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	wait := fs.Bool("wait", false, "poll until the job finishes, then print its results")
+	fs.Parse(args)
+
+	specs, err := readSpecs()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(sweepd.SubmitRequest{Client: *client, Priority: *priority, Specs: specs})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*addr+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return httpError("submit", resp)
+	}
+	var sub sweepd.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return err
+	}
+	if !*wait {
+		fmt.Printf("%s points=%d cached=%d\n", sub.ID, sub.Points, sub.Cached)
+		return nil
+	}
+	for {
+		st, err := fetchStatus(*addr, sub.ID)
+		if err != nil {
+			return err
+		}
+		if st.State != sweepd.JobRunning {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return printBody(*addr + "/v1/jobs/" + sub.ID + "/results")
+}
+
+func fetchStatus(addr, id string) (sweepd.JobStatus, error) {
+	var st sweepd.JobStatus
+	resp, err := http.Get(addr + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, httpError("status", resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// cmdJobGet streams one job GET endpoint ("" status, "/results", "/stream")
+// to stdout.
+func cmdJobGet(args []string, suffix, name string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "sweepd base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sweepctl %s [-addr URL] <job-id>", name)
+	}
+	return printBody(*addr + "/v1/jobs/" + fs.Arg(0) + suffix)
+}
+
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "sweepd base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sweepctl cancel [-addr URL] <job-id>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, *addr+"/v1/jobs/"+fs.Arg(0), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("cancel", resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// cmdLocal runs a batch in-process through experiments.Runner and prints the
+// canonical results document — the reference a served sweep is diffed
+// against.
+func cmdLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = all CPUs)")
+	fs.Parse(args)
+	specs, err := readSpecs()
+	if err != nil {
+		return err
+	}
+	results, err := experiments.Runner{Workers: *parallel}.Sweep(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(sweepd.EncodeResults(sweepd.FromRunnerResults(results)))
+	return err
+}
+
+func cmdServer(args []string, method, path, name string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "sweepd base URL")
+	fs.Parse(args)
+	req, err := http.NewRequest(method, *addr+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(name, resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// printBody GETs a URL and copies the body to stdout (streaming, so `watch`
+// follows a live JSONL stream).
+func printBody(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("get", resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// httpError decodes the server's JSON error body into a CLI error.
+func httpError(what string, resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return fmt.Errorf("%s: %s", what, e.Error)
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ import (
 
 func main() {
 	p := experiments.Fig5Params{N: 120, SleepUs: 80, IntervalCycles: 10000}
-	res, err := experiments.RunFigure5(p)
+	res, err := experiments.RunFigure5Ctx(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,13 +49,6 @@ func buildTrace(workload string, base uint64, scale int) (*trace.Trace, error) {
 	return trace.Scaled(workload, base, scale)
 }
 
-// RunDSEPoint measures one configuration.
-//
-// Deprecated: use RunPoint with a RunSpec (context first).
-func RunDSEPoint(workload string, nDLA int, memory string, inflight int, p DSEParams) (sim.Tick, error) {
-	return RunPoint(context.Background(), p.Spec(workload, nDLA, memory, inflight))
-}
-
 // DSESpecs builds the full Figure 6/7 grid for workload in output order:
 // for each accelerator count and in-flight cap, the ideal baseline followed
 // by each memory technology.
@@ -95,13 +88,6 @@ func (r Runner) DSEFigure(ctx context.Context, workload string, p DSEParams) ([]
 		})
 	}
 	return points, nil
-}
-
-// RunDSEFigure is the sequential figure sweep.
-//
-// Deprecated: use Runner.DSEFigure (context first, parallelisable).
-func RunDSEFigure(workload string, p DSEParams, report func(string)) ([]DSEPoint, error) {
-	return Runner{Workers: 1, Report: report}.DSEFigure(context.Background(), workload, p)
 }
 
 func memTechs() []string {
@@ -154,13 +140,6 @@ func (r Runner) Table3(ctx context.Context, p DSEParams) ([]Table3Row, error) {
 		}
 	}
 	return rows, nil
-}
-
-// RunTable3 is the sequential Table 3 study.
-//
-// Deprecated: use Runner.Table3 (context first).
-func RunTable3(p DSEParams) ([]Table3Row, error) {
-	return Runner{Workers: 1}.Table3(context.Background(), p)
 }
 
 // RunStandaloneOnce is the exported single-run entry for benchmarks.

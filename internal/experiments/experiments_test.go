@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"gem5rtl/internal/sim"
@@ -14,7 +15,7 @@ func TestFigure5ProducesPhases(t *testing.T) {
 	p.N = 60 // small but with visible phases
 	p.SleepUs = 60
 	p.IntervalCycles = 5000
-	res, err := RunFigure5(p)
+	res, err := RunFigure5Ctx(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFigure5ProducesPhases(t *testing.T) {
 }
 
 func TestTable2OverheadOrdering(t *testing.T) {
-	cells, err := RunTable2([]int{80}, 20)
+	cells, err := Runner{Workers: 1}.Table2(context.Background(), []int{80}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestTable2OverheadOrdering(t *testing.T) {
 func TestDSESinglePointShapes(t *testing.T) {
 	p := quickDSE()
 	// Latency-bound at 1 in-flight: DDR4-1ch far from ideal.
-	ideal1, err := RunDSEPoint("sanity3", 1, "ideal", 1, p)
+	ideal1, err := Run(context.Background(), p.Spec("sanity3", 1, "ideal", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ddr1, err := RunDSEPoint("sanity3", 1, "DDR4-1ch", 1, p)
+	ddr1, err := Run(context.Background(), p.Spec("sanity3", 1, "DDR4-1ch", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestDSESinglePointShapes(t *testing.T) {
 		t.Fatalf("1-inflight DDR4-1ch perf %.2f, want << 1", perf)
 	}
 	// At 64 in-flight, HBM approaches ideal for a single accelerator.
-	ideal64, err := RunDSEPoint("sanity3", 1, "ideal", 64, p)
+	ideal64, err := Run(context.Background(), p.Spec("sanity3", 1, "ideal", 64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hbm64, err := RunDSEPoint("sanity3", 1, "HBM", 64, p)
+	hbm64, err := Run(context.Background(), p.Spec("sanity3", 1, "HBM", 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestDSESinglePointShapes(t *testing.T) {
 		t.Fatalf("64-inflight HBM perf %.2f, want near 1", perf)
 	}
 	// And HBM beats DDR4-1ch.
-	ddr64, err := RunDSEPoint("sanity3", 1, "DDR4-1ch", 64, p)
+	ddr64, err := Run(context.Background(), p.Spec("sanity3", 1, "DDR4-1ch", 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +108,11 @@ func TestDSESinglePointShapes(t *testing.T) {
 func TestDSEMoreAcceleratorsMoreContention(t *testing.T) {
 	p := quickDSE()
 	perf := func(n int) float64 {
-		ideal, err := RunDSEPoint("sanity3", n, "ideal", 64, p)
+		ideal, err := Run(context.Background(), p.Spec("sanity3", n, "ideal", 64))
 		if err != nil {
 			t.Fatal(err)
 		}
-		ddr, err := RunDSEPoint("sanity3", n, "DDR4-1ch", 64, p)
+		ddr, err := Run(context.Background(), p.Spec("sanity3", n, "DDR4-1ch", 64))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func TestDSEMoreAcceleratorsMoreContention(t *testing.T) {
 }
 
 func TestTable3Shapes(t *testing.T) {
-	rows, err := RunTable3(DSEParams{Scale: 64, Limit: 4 * sim.Second})
+	rows, err := Runner{Workers: 1}.Table3(context.Background(), DSEParams{Scale: 64, Limit: 4 * sim.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,6 @@ import (
 
 	"gem5rtl/internal/guard"
 	"gem5rtl/internal/nvdla"
-	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
 	"gem5rtl/internal/sim"
@@ -17,24 +16,6 @@ import (
 	"gem5rtl/internal/trace"
 	"gem5rtl/internal/workload"
 )
-
-// RunPointGuarded is RunPoint with a liveness watchdog attached: a point that
-// stops making forward progress returns a *guard.HangError (with the full
-// diagnostic dump) instead of silently simulating idle tickers until Limit.
-func RunPointGuarded(ctx context.Context, spec RunSpec, gcfg guard.Config) (sim.Tick, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	s, err := buildPoint(spec)
-	if err != nil {
-		return 0, err
-	}
-	wd := s.AttachWatchdog(gcfg)
-	defer wd.Stop()
-	done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
-	obs.CountEvents(s.Queue.Dispatched())
-	return done, err
-}
 
 // FaultCampaign configures a seeded NVDLA fault-injection campaign: Count
 // independent simulations of Spec, each with exactly one fault injected at a

@@ -213,11 +213,11 @@ func TestPMUFaultCampaignDeterministic(t *testing.T) {
 // healthy point: same completion as RunPoint, no spurious trip.
 func TestRunPointGuardedCleanRun(t *testing.T) {
 	spec := campSpec()
-	plain, err := RunPoint(context.Background(), spec)
+	plain, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	guarded, err := RunPointGuarded(context.Background(), spec, guard.Config{})
+	guarded, err := Run(context.Background(), spec, WithWatchdog(guard.Config{}))
 	if err != nil {
 		t.Fatalf("clean guarded point errored: %v", err)
 	}

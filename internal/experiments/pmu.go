@@ -123,13 +123,6 @@ type Fig5Result struct {
 	SimTicks       sim.Tick
 }
 
-// RunFigure5 reproduces Figure 5 without cancellation.
-//
-// Deprecated: use RunFigure5Ctx.
-func RunFigure5(p Fig5Params) (*Fig5Result, error) {
-	return RunFigure5Ctx(context.Background(), p)
-}
-
 // RunFigure5Ctx reproduces Figure 5: the sort benchmark runs on core 0 with
 // the PMU RTL model attached; every threshold interrupt the harness reads
 // the PMU counters over AXI and snapshots gem5-side statistics over the
@@ -309,13 +302,6 @@ func (r Runner) Table2(ctx context.Context, sizes []int, sleepUs int) ([]Table2C
 		}
 	}
 	return cells, nil
-}
-
-// RunTable2 is the sequential Table 2 study.
-//
-// Deprecated: use Runner.Table2 (context first).
-func RunTable2(sizes []int, sleepUs int) ([]Table2Cell, error) {
-	return Runner{Workers: 1}.Table2(context.Background(), sizes, sleepUs)
 }
 
 // DefaultTable2Sizes scales the paper's 3k/30k/60k (1:10:20) down to

@@ -8,46 +8,9 @@ import (
 	"sync"
 	"time"
 
-	"gem5rtl/internal/guard"
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/sim"
 )
-
-// RunSpec fully identifies one independent simulation point of the design
-// space: which workload runs on how many accelerators, against which memory
-// technology, under which in-flight cap, at which trace scale and simulated
-// time limit. Specs are comparable, so they double as cache keys for the
-// ideal-memory baselines that normalise the figures.
-type RunSpec struct {
-	Workload string
-	NVDLAs   int
-	Memory   string // "ideal" is the normalisation baseline
-	Inflight int
-	// Scale divides the trace footprints (see DSEParams.Scale).
-	Scale int
-	// Limit bounds one run's simulated time.
-	Limit sim.Tick
-}
-
-// String renders the spec for progress lines and error messages.
-func (s RunSpec) String() string {
-	return fmt.Sprintf("%s n=%d %s inflight=%d scale=%d", s.Workload, s.NVDLAs, s.Memory, s.Inflight, s.Scale)
-}
-
-// baseline returns the ideal-memory spec this spec is normalised against.
-func (s RunSpec) baseline() RunSpec {
-	s.Memory = "ideal"
-	return s
-}
-
-// isIdeal reports whether the spec is itself a normalisation baseline.
-func (s RunSpec) isIdeal() bool { return s.Memory == "" || s.Memory == "ideal" }
-
-// Spec converts a DSEParams-era positional call into a RunSpec.
-func (p DSEParams) Spec(workload string, nDLA int, memory string, inflight int) RunSpec {
-	return RunSpec{Workload: workload, NVDLAs: nDLA, Memory: memory,
-		Inflight: inflight, Scale: p.Scale, Limit: p.Limit}
-}
 
 // Result is the outcome of one RunSpec.
 type Result struct {
@@ -66,24 +29,6 @@ type Result struct {
 	Err error
 }
 
-// RunPoint executes one simulation point: n accelerator instances, each
-// running its own copy of the workload trace (the paper's setup), on the
-// named memory technology with the given in-flight cap. Cancelling ctx
-// aborts the event loop promptly (a periodic check event watches the
-// context) and returns ctx.Err().
-func RunPoint(ctx context.Context, spec RunSpec) (sim.Tick, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	s, err := buildPoint(spec)
-	if err != nil {
-		return 0, err
-	}
-	done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
-	obs.CountEvents(s.Queue.Dispatched())
-	return done, err
-}
-
 // Runner executes sweeps of independent simulation points on a worker pool.
 // The zero value is a valid sequential runner (Workers <= 0 selects
 // runtime.NumCPU(); set Workers to 1 for strictly sequential execution and
@@ -94,51 +39,30 @@ type Runner struct {
 	// Report receives per-point progress lines (may be nil). It is called
 	// from worker goroutines and must be safe for concurrent use.
 	Report func(string)
-	// Run overrides the per-point executor; nil means RunPoint. Tests use
-	// this to inject failures and count baseline executions.
+	// Run overrides the per-point executor; nil means Run with Options.
+	// Tests use this to inject failures and count baseline executions.
 	Run func(ctx context.Context, spec RunSpec) (sim.Tick, error)
-	// Warmup, together with Ckpts, turns the sweep into a warm-start engine:
-	// each point's first execution snapshots the full system at the Warmup
-	// tick, and every later execution of the same point (a repeated sweep, or
-	// a snapshot persisted by a previous process) restores the snapshot and
-	// simulates only the remainder. Results are identical either way — the
-	// soc restore-equivalence property guarantees bit-identical statistics.
-	// Ignored when Run is set or Ckpts is nil.
-	Warmup sim.Tick
-	// Ckpts is the snapshot store for warm starts; nil disables them.
-	Ckpts *CheckpointCache
-	// Guard, when non-nil, attaches a liveness watchdog with this
-	// configuration to every cold simulation point, so a hung point
-	// surfaces as a *guard.HangError in Result.Err instead of stalling
-	// the sweep until Limit. Ignored when Run overrides the executor or
-	// the warm-start path is active (watchdog events are host-side and
-	// not snapshot-safe).
-	Guard *guard.Config
+	// Options configure every point's Run call (warm-start, watchdog,
+	// tracing — see the Option constructors). Points execute concurrently,
+	// so per-point sinks like WithStateHash must not be used here; compose
+	// them on direct Run calls instead. Ignored when Run is set.
+	Options []Option
 	// Monitor, when non-nil, samples host runtime metrics (wall time,
 	// goroutines, heap, aggregate simulated events/sec) for the duration of
 	// each Sweep or ForEach. The caller owns the monitor's output writer.
 	Monitor *obs.HostMonitor
 }
 
-// executor resolves the per-point run function: an explicit override, the
-// warm-start path, or the plain cold RunPoint.
+// executor resolves the per-point run function: an explicit override or the
+// unified Run entry point with the runner's options.
 func (r Runner) executor() func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
 	if r.Run != nil {
 		return r.Run
 	}
-	if r.Warmup > 0 && r.Ckpts != nil {
-		warmup, cache := r.Warmup, r.Ckpts
-		return func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
-			return RunPointWarm(ctx, spec, warmup, cache)
-		}
+	opts := r.Options
+	return func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
+		return Run(ctx, spec, opts...)
 	}
-	if r.Guard != nil {
-		gcfg := *r.Guard
-		return func(ctx context.Context, spec RunSpec) (sim.Tick, error) {
-			return RunPointGuarded(ctx, spec, gcfg)
-		}
-	}
-	return RunPoint
 }
 
 // panicError wraps a recovered panic with the failing work item and the

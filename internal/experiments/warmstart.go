@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"bytes"
-	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/sim"
@@ -52,7 +51,38 @@ type CheckpointCache struct {
 	dir string
 	mu  sync.Mutex
 	mem map[ckptKey][]byte
+
+	// Effectiveness counters, mirrored into the host-wide obs counters so
+	// warm-start behaviour is visible in interval dumps and the sweep
+	// service's status endpoint. A formerly silent miss or stale-drop now
+	// always leaves a trace.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stale  atomic.Uint64
 }
+
+// CacheStats is a point-in-time view of warm-start cache effectiveness:
+// how many runs restored a snapshot (Hits), ran cold because none existed
+// (Misses), or dropped an unrestorable snapshot and fell back cold (Stale).
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Stale  uint64 `json:"stale"`
+}
+
+// Stats samples the cache's effectiveness counters.
+func (c *CheckpointCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Stale: c.stale.Load()}
+}
+
+// countHit records a snapshot restore, here and host-wide.
+func (c *CheckpointCache) countHit() { c.hits.Add(1); obs.CountCkptHit() }
+
+// countMiss records a cold run due to an absent snapshot.
+func (c *CheckpointCache) countMiss() { c.misses.Add(1); obs.CountCkptMiss() }
+
+// countStale records a dropped unrestorable snapshot.
+func (c *CheckpointCache) countStale() { c.stale.Add(1); obs.CountCkptStale() }
 
 // ckptKey identifies a warm-up prefix: the point's behaviour-affecting
 // fields plus the warm-up tick. Limit is zeroed — it only bounds the run and
@@ -157,55 +187,4 @@ func (c *CheckpointCache) drop(spec RunSpec, warmup sim.Tick) {
 	if c.dir != "" {
 		os.Remove(c.fileName(k))
 	}
-}
-
-// RunPointWarm executes one simulation point with warm-start checkpointing.
-// On a cache miss it runs the warm-up prefix from tick 0, snapshots the full
-// system at the warmup tick, then finishes the run; on a hit it builds a
-// fresh system, restores the snapshot and simulates only the remainder.
-// Results are identical to RunPoint in either case — the restore-equivalence
-// property (internal/soc TestCheckpointRestoreEquivalenceNVDLA) guarantees
-// the resumed run completes at the same tick with the same statistics.
-//
-// A snapshot that fails to restore (a stale file persisted by an older
-// build) is dropped and the point transparently falls back to a cold run.
-func RunPointWarm(ctx context.Context, spec RunSpec, warmup sim.Tick, cache *CheckpointCache) (sim.Tick, error) {
-	if warmup <= 0 || cache == nil {
-		return RunPoint(ctx, spec)
-	}
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	if blob, ok := cache.load(spec, warmup); ok {
-		s, err := soc.Build(specConfig(spec))
-		if err != nil {
-			return 0, err
-		}
-		if _, err := s.Restore(bytes.NewReader(blob)); err == nil {
-			done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
-			obs.CountEvents(s.Queue.Dispatched())
-			return done, err
-		}
-		cache.drop(spec, warmup)
-	}
-	s, err := buildPoint(spec)
-	if err != nil {
-		return 0, err
-	}
-	done, remaining, err := s.RunNVDLAPhase(ctx, warmup)
-	if err != nil {
-		return 0, err
-	}
-	if remaining == 0 {
-		// Finished inside the warm-up window; nothing worth snapshotting.
-		return done, nil
-	}
-	var buf bytes.Buffer
-	if err := s.Save(&buf); err != nil {
-		return 0, fmt.Errorf("experiments: warm-start snapshot for %v: %w", spec, err)
-	}
-	cache.store(spec, warmup, buf.Bytes())
-	total, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
-	obs.CountEvents(s.Queue.Dispatched())
-	return total, err
 }

@@ -35,14 +35,14 @@ func TestWarmStartMatchesCold(t *testing.T) {
 	}
 
 	cache := NewCheckpointCache("")
-	populate, err := Runner{Workers: 1, Warmup: warmup, Ckpts: cache}.Sweep(ctx, specs)
+	populate, err := Runner{Workers: 1, Options: []Option{WithWarmStart(warmup, cache)}}.Sweep(ctx, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() == 0 {
 		t.Fatal("warm-up sweep stored no snapshots")
 	}
-	warm, err := Runner{Workers: 1, Warmup: warmup, Ckpts: cache}.Sweep(ctx, specs)
+	warm, err := Runner{Workers: 1, Options: []Option{WithWarmStart(warmup, cache)}}.Sweep(ctx, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,19 +72,19 @@ func TestWarmStartPersistsToDir(t *testing.T) {
 	const warmup = 1 * sim.Microsecond
 	dir := t.TempDir()
 
-	cold, err := RunPoint(ctx, spec)
+	cold, err := Run(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	first := NewCheckpointCache(dir)
-	populated, err := RunPointWarm(ctx, spec, warmup, first)
+	populated, err := Run(ctx, spec, WithWarmStart(warmup, first))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	second := NewCheckpointCache(dir)
-	restored, err := RunPointWarm(ctx, spec, warmup, second)
+	restored, err := Run(ctx, spec, WithWarmStart(warmup, second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,13 +104,13 @@ func TestWarmStartStaleSnapshotFallsBack(t *testing.T) {
 	ctx := context.Background()
 	const warmup = 1 * sim.Microsecond
 
-	cold, err := RunPoint(ctx, spec)
+	cold, err := Run(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cache := NewCheckpointCache("")
 	cache.store(spec, warmup, []byte("not a checkpoint"))
-	got, err := RunPointWarm(ctx, spec, warmup, cache)
+	got, err := Run(ctx, spec, WithWarmStart(warmup, cache))
 	if err != nil {
 		t.Fatal(err)
 	}

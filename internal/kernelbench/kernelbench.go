@@ -135,8 +135,9 @@ func benchSweep(b *testing.B, warm bool) {
 	specs := sweepSpecs()
 	r := experiments.Runner{Workers: 1}
 	if warm {
-		r.Warmup = 2 * sim.Microsecond
-		r.Ckpts = experiments.NewCheckpointCache("")
+		r.Options = []experiments.Option{
+			experiments.WithWarmStart(2*sim.Microsecond, experiments.NewCheckpointCache("")),
+		}
 		if _, err := r.Sweep(context.Background(), specs); err != nil {
 			b.Fatal(err) // populate the cache outside the timing loop
 		}

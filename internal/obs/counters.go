@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"gem5rtl/internal/stats"
+)
+
+// Host-wide warm-start checkpoint-cache counters. The experiments
+// CheckpointCache mirrors its per-cache hit/miss/stale counts here, so
+// warm-start effectiveness is visible wherever host metrics are: the
+// HostMonitor JSONL stream, interval dumps over a registry built with
+// RegisterHostStats, and the sweep service's status endpoint.
+var (
+	ckptHits   atomic.Uint64
+	ckptMisses atomic.Uint64
+	ckptStale  atomic.Uint64
+)
+
+// CountCkptHit records one warm-start snapshot restore.
+func CountCkptHit() { ckptHits.Add(1) }
+
+// CountCkptMiss records one cold run caused by an absent snapshot.
+func CountCkptMiss() { ckptMisses.Add(1) }
+
+// CountCkptStale records one dropped unrestorable snapshot.
+func CountCkptStale() { ckptStale.Add(1) }
+
+// CkptCacheCounts returns the host-wide warm-start cache counters.
+func CkptCacheCounts() (hits, misses, stale uint64) {
+	return ckptHits.Load(), ckptMisses.Load(), ckptStale.Load()
+}
+
+// RegisterHostStats registers the host-wide observability counters —
+// dispatched simulator events and warm-start cache effectiveness — into a
+// stats.Registry, so host-side consumers (the sweep service's status and
+// progress streams) report them alongside their own gauges.
+func RegisterHostStats(reg *stats.Registry) {
+	reg.Register("host.events", "simulator events dispatched host-wide",
+		func() float64 { return float64(HostEvents()) })
+	reg.Register("host.ckpt.hits", "warm-start snapshots restored",
+		func() float64 { h, _, _ := CkptCacheCounts(); return float64(h) })
+	reg.Register("host.ckpt.misses", "cold runs with no warm-start snapshot",
+		func() float64 { _, m, _ := CkptCacheCounts(); return float64(m) })
+	reg.Register("host.ckpt.stale", "unrestorable warm-start snapshots dropped",
+		func() float64 { _, _, s := CkptCacheCounts(); return float64(s) })
+}

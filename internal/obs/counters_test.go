@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gem5rtl/internal/stats"
+)
+
+// TestCkptCountersAndHostStats checks the host-wide warm-start counters and
+// their registry bridge: counts bumped through the Count* entry points are
+// visible via CkptCacheCounts and through a registry built with
+// RegisterHostStats.
+func TestCkptCountersAndHostStats(t *testing.T) {
+	h0, m0, s0 := CkptCacheCounts()
+	CountCkptHit()
+	CountCkptHit()
+	CountCkptMiss()
+	CountCkptStale()
+	h, m, s := CkptCacheCounts()
+	if h != h0+2 || m != m0+1 || s != s0+1 {
+		t.Errorf("counters moved to (%d,%d,%d) from (%d,%d,%d), want +2/+1/+1", h, m, s, h0, m0, s0)
+	}
+
+	reg := stats.NewRegistry()
+	RegisterHostStats(reg)
+	for name, want := range map[string]float64{
+		"host.ckpt.hits":   float64(h),
+		"host.ckpt.misses": float64(m),
+		"host.ckpt.stale":  float64(s),
+	} {
+		got, ok := reg.Get(name)
+		if !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := reg.Get("host.events"); !ok {
+		t.Error("host.events not registered")
+	}
+}
+
+// TestHostIntervalStreamerTelescopes checks the wall-clock streamer's
+// telescoping-delta contract on a registry gauge: summing a column across
+// the emitted records reproduces the end-to-start total, and the final
+// cancellation record is always emitted.
+func TestHostIntervalStreamerTelescopes(t *testing.T) {
+	var val atomic.Int64
+	reg := stats.NewRegistry()
+	reg.Register("g", "test gauge", func() float64 { return float64(val.Load()) })
+
+	var buf strings.Builder
+	h := &HostIntervalStreamer{Reg: reg, W: &buf, Period: 5 * time.Millisecond,
+		Annotate: func(rec *IntervalRecord) { rec.Extra = "note" }}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- h.Run(ctx) }()
+	for i := 0; i < 4; i++ {
+		time.Sleep(6 * time.Millisecond)
+		val.Add(10)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no records emitted")
+	}
+	var sum float64
+	for _, line := range lines {
+		var rec IntervalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad record %q: %v", line, err)
+		}
+		sum += rec.Stats["g"]
+		if rec.Extra == nil {
+			t.Errorf("record %d lost its annotation", rec.Interval)
+		}
+	}
+	if sum != float64(val.Load()) {
+		t.Errorf("telescoped deltas sum to %v, gauge total is %v", sum, val.Load())
+	}
+}

@@ -11,6 +11,18 @@ import (
 	"gem5rtl/internal/stats"
 )
 
+// IntervalRecord is one emitted interval: the boundary time (a simulated
+// tick for IntervalDumper, elapsed host milliseconds for HostIntervalStreamer),
+// a zero-based interval index, and the per-name stat deltas over the
+// interval. Extra carries producer-specific context (e.g. the sweep
+// service's job status snapshot on a progress stream).
+type IntervalRecord struct {
+	Tick     uint64             `json:"tick"`
+	Interval int                `json:"interval"`
+	Stats    map[string]float64 `json:"stats"`
+	Extra    any                `json:"extra,omitempty"`
+}
+
 // IntervalDumper periodically samples a stats.Registry on the event queue
 // and writes delta records — the per-interval counterpart of the end-of-run
 // Dump, enabling Figure-5-style counter-vs-stats validation per window.
@@ -110,11 +122,7 @@ func (d *IntervalDumper) emit() {
 		for i, name := range d.names {
 			deltas[name] = cur[i] - d.prev[i]
 		}
-		rec := struct {
-			Tick     uint64             `json:"tick"`
-			Interval int                `json:"interval"`
-			Stats    map[string]float64 `json:"stats"`
-		}{uint64(d.q.Now()), d.n, deltas}
+		rec := IntervalRecord{Tick: uint64(d.q.Now()), Interval: d.n, Stats: deltas}
 		b, err := json.Marshal(rec) // map keys marshal sorted
 		if err == nil {
 			_, err = fmt.Fprintf(d.w, "%s\n", b)

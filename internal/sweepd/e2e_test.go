@@ -1,0 +1,330 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+// gridSpecs is the 12-config sanity3 NVDLA grid of BenchmarkSweep and the
+// kernel golden tests — the ISSUE's acceptance batch.
+func gridSpecs() []experiments.RunSpec {
+	p := experiments.DSEParams{Scale: 32, Limit: 8 * sim.Second}
+	var specs []experiments.RunSpec
+	for _, inflight := range []int{1, 16, 64, 240} {
+		for _, mem := range []string{"DDR4-1ch", "DDR4-4ch", "HBM"} {
+			specs = append(specs, p.Spec("sanity3", 1, mem, inflight))
+		}
+	}
+	return specs
+}
+
+// submitAndWait posts a batch and polls status until the job finishes,
+// returning the job ID.
+func submitAndWait(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, e.Error)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st := getStatus(t, ts, sub.ID)
+		if st.State == JobDone || st.State == JobCancelled {
+			return sub.ID
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", sub.ID, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getResults(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestE2EGridMatchesInProcessRunner is the acceptance test: the 12-config
+// NVDLA grid submitted twice to a served sweep yields byte-identical result
+// documents, the second submission is served entirely from the fingerprint
+// store with zero re-simulated points, and both match an in-process
+// Runner.Sweep over the same batch byte for byte.
+func TestE2EGridMatchesInProcessRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 12-config grid is not -short friendly")
+	}
+	var runs atomic.Int64
+	s, err := New(Config{
+		Workers:  4,
+		StoreDir: t.TempDir(),
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			runs.Add(1)
+			return experiments.Run(ctx, spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specs := gridSpecs()
+	body, err := json.Marshal(SubmitRequest{Client: "e2e", Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id1 := submitAndWait(t, ts, string(body))
+	first := runs.Load()
+	// 12 technology points + 4 distinct ideal baselines.
+	if first != 16 {
+		t.Errorf("first submission simulated %d points, want 16", first)
+	}
+	res1 := getResults(t, ts, id1)
+
+	id2 := submitAndWait(t, ts, string(body))
+	if got := runs.Load(); got != first {
+		t.Errorf("second submission re-simulated %d points, want 0", got-first)
+	}
+	st2 := getStatus(t, ts, id2)
+	if st2.CachedAtSubmit != st2.Total {
+		t.Errorf("second submission cached %d of %d points at submit, want all", st2.CachedAtSubmit, st2.Total)
+	}
+	res2 := getResults(t, ts, id2)
+	if !bytes.Equal(res1, res2) {
+		t.Error("served results are not byte-identical across submissions")
+	}
+
+	// The served sweep must diff clean against the in-process runner.
+	local, err := experiments.Runner{Workers: 4}.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EncodeResults(FromRunnerResults(local))
+	if !bytes.Equal(res1, want) {
+		t.Errorf("served results diverge from in-process Runner.Sweep:\nserved:\n%s\nlocal:\n%s", res1, want)
+	}
+}
+
+// TestE2EStreamDeliversProgress checks the JSONL progress stream: records
+// carry the host stats registry's telescoping deltas plus the job status in
+// Extra, and the stream ends once the job finishes.
+func TestE2EStreamDeliversProgress(t *testing.T) {
+	release := make(chan struct{})
+	s, err := New(Config{Workers: 1, StreamPeriod: 10 * time.Millisecond,
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			<-release
+			return fakeTicks(spec), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SubmitRequest{Specs: []experiments.RunSpec{testSpec("HBM", 16)}})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+
+	type record struct {
+		Tick     uint64             `json:"tick"`
+		Interval int                `json:"interval"`
+		Stats    map[string]float64 `json:"stats"`
+		Extra    JobStatus          `json:"extra"`
+	}
+	var last record
+	lines := 0
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("stream delivered no records")
+	}
+	if last.Extra.ID != sub.ID || last.Extra.State != JobDone {
+		t.Errorf("final record extra = %+v, want job %s done", last.Extra, sub.ID)
+	}
+	if _, ok := last.Stats["host.events"]; !ok {
+		t.Errorf("stream records lack the host stats registry: %v", last.Stats)
+	}
+}
+
+// TestE2EValidationAndErrors checks the HTTP error surface: bad specs and
+// unknown fields reject with 400, unknown jobs 404, premature results 409,
+// cancel via DELETE, and drain flips submissions to 503.
+func TestE2EValidationAndErrors(t *testing.T) {
+	release := make(chan struct{})
+	var once func()
+	{
+		var done atomic.Bool
+		once = func() {
+			if done.CompareAndSwap(false, true) {
+				close(release)
+			}
+		}
+	}
+	s, err := New(Config{Workers: 1,
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			<-release
+			return fakeTicks(spec), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { once(); s.Close() }()
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, string) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp, e.Error
+	}
+
+	if resp, msg := post(`{"specs":[{"workload":"resnet","nvdlas":1,"memory":"HBM","inflight":4,"scale":32,"limit":1}]}`); resp.StatusCode != http.StatusBadRequest || !strings.Contains(msg, `workload "resnet"`) {
+		t.Errorf("invalid workload: status %d, %q", resp.StatusCode, msg)
+	}
+	if resp, msg := post(`{"specs":[{"workload":"sanity3","inflght":4}]}`); resp.StatusCode != http.StatusBadRequest || !strings.Contains(msg, "inflght") {
+		t.Errorf("unknown spec field: status %d, %q", resp.StatusCode, msg)
+	}
+	if resp, _ := post(`{"specs":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(`{"priorty":3,"specs":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown request field: status %d", resp.StatusCode)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/job-999999"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// A live job: results must 409, DELETE must cancel.
+	body, _ := json.Marshal(SubmitRequest{Specs: []experiments.RunSpec{testSpec("HBM", 16)}})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	_ = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/results"); err != nil || resp.StatusCode != http.StatusConflict {
+		t.Errorf("premature results: %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("cancel: %v %d", err, resp.StatusCode)
+	} else {
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State != JobCancelled {
+			t.Errorf("cancelled job state %q", st.State)
+		}
+	}
+	once()
+
+	// Drain: new submissions bounce with 503, status reports draining.
+	if resp, err := http.Post(ts.URL+"/v1/drain", "application/json", nil); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, _ := post(fmt.Sprintf(`{"specs":[%s]}`, testSpec("HBM", 64).CanonicalJSON())); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/status"); err != nil {
+		t.Fatal(err)
+	} else {
+		var st ServerStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if !st.Draining {
+			t.Errorf("server status %+v does not report draining", st)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package sweepd
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+// pointState is the lifecycle of one deduplicated simulation point.
+type pointState int
+
+const (
+	pointPending pointState = iota
+	pointRunning
+	pointDone
+	pointFailed
+	pointSkipped // every interested job cancelled before it ran
+)
+
+// terminal reports whether the point has reached a final state.
+func (s pointState) terminal() bool { return s >= pointDone }
+
+// point is one deduplicated unit of simulation work. Jobs that need the same
+// fingerprint — within a batch, across batches, across clients — share the
+// point: it simulates once and everyone reads the result.
+type point struct {
+	spec     experiments.RunSpec
+	fp       string
+	priority int    // max over interested jobs
+	seq      uint64 // submission order, the tie-breaker
+	index    int    // heap position, -1 when not queued
+	state    pointState
+	ticks    sim.Tick
+	err      error
+	jobs     map[*job]struct{} // jobs still interested in the result
+}
+
+// job is one submitted batch plus the hidden ideal baselines its Perf
+// normalisation needs.
+type job struct {
+	id        string
+	client    string
+	priority  int
+	specs     []experiments.RunSpec // client-visible, submit order
+	points    map[string]*point     // every needed point, keyed by fingerprint
+	cached    int                   // points served from the store at submit
+	cancelled bool
+	done      chan struct{} // closed when the job reaches a terminal state
+	finished  bool
+}
+
+// pointHeap orders pending points by (priority desc, seq asc): higher
+// priority first, submission order within a priority band.
+type pointHeap []*point
+
+func (h pointHeap) Len() int { return len(h) }
+func (h pointHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pointHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *pointHeap) Push(x any) {
+	p := x.(*point)
+	p.index = len(*h)
+	*h = append(*h, p)
+}
+func (h *pointHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.index = -1
+	*h = old[:n-1]
+	return p
+}
+
+// scheduler owns the job table, the deduplicated point set and the pending
+// heap under one mutex. Workers block on cond until a point is available or
+// the scheduler closes.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	jobSeq  int
+	points  map[string]*point // live (non-terminal) points by fingerprint
+	pending pointHeap
+	seq     uint64
+	running int
+	closed  bool
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{jobs: map[string]*job{}, points: map[string]*point{}}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// submit registers a job for specs. For every spec (and the ideal baseline of
+// every technology spec) it either reads the store, joins an in-flight
+// point, or queues a new one. quota bounds the client's live points; 0 means
+// unlimited. The store lookup happens here, under the scheduler lock, so a
+// concurrent worker cannot complete a point between the check and the
+// enqueue.
+func (s *scheduler) submit(st *Store, req SubmitRequest, quota int) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("sweepd: server is draining")
+	}
+
+	// The job needs each submitted spec plus the baseline it normalises
+	// against, deduplicated by fingerprint.
+	need := make([]experiments.RunSpec, 0, 2*len(req.Specs))
+	seen := map[string]bool{}
+	for _, spec := range req.Specs {
+		for _, sp := range []experiments.RunSpec{spec, spec.Baseline()} {
+			if fp := sp.Fingerprint(); !seen[fp] {
+				seen[fp] = true
+				need = append(need, sp)
+			}
+		}
+	}
+
+	if quota > 0 {
+		live := s.clientLivePointsLocked(req.Client)
+		fresh := 0
+		for _, sp := range need {
+			fp := sp.Fingerprint()
+			if _, ok := st.Get(fp); ok {
+				continue
+			}
+			if _, ok := s.points[fp]; ok {
+				continue // already owned by someone; joining is free
+			}
+			fresh++
+		}
+		if live+fresh > quota {
+			return nil, fmt.Errorf("sweepd: client %q quota exceeded: %d live + %d new points > %d",
+				req.Client, live, fresh, quota)
+		}
+	}
+
+	s.jobSeq++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.jobSeq),
+		client:   req.Client,
+		priority: req.Priority,
+		specs:    req.Specs,
+		points:   map[string]*point{},
+		done:     make(chan struct{}),
+	}
+	for _, sp := range need {
+		fp := sp.Fingerprint()
+		if ent, ok := st.Get(fp); ok {
+			// Served from the persistent store: a terminal point private to
+			// this job, never queued.
+			j.points[fp] = &point{spec: sp, fp: fp, state: pointDone, ticks: ent.Ticks, index: -1}
+			j.cached++
+			continue
+		}
+		if p, ok := s.points[fp]; ok {
+			// In flight or queued: join it, and let a high-priority job pull
+			// a shared pending point up the queue.
+			p.jobs[j] = struct{}{}
+			if req.Priority > p.priority && p.index >= 0 {
+				p.priority = req.Priority
+				heap.Fix(&s.pending, p.index)
+			}
+			j.points[fp] = p
+			continue
+		}
+		s.seq++
+		p := &point{
+			spec: sp, fp: fp, priority: req.Priority, seq: s.seq,
+			index: -1, jobs: map[*job]struct{}{j: {}},
+		}
+		s.points[fp] = p
+		heap.Push(&s.pending, p)
+		j.points[fp] = p
+	}
+	s.jobs[j.id] = j
+	s.refreshJobLocked(j)
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// clientLivePointsLocked counts the non-terminal points a client is
+// (co-)responsible for.
+func (s *scheduler) clientLivePointsLocked(client string) int {
+	n := 0
+	for _, p := range s.points {
+		if p.state.terminal() {
+			continue
+		}
+		for j := range p.jobs {
+			if j.client == client {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// next blocks until a pending point is available and claims it, or returns
+// nil when the scheduler closes with an empty queue.
+func (s *scheduler) next() *point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.pending.Len() > 0 {
+			p := heap.Pop(&s.pending).(*point)
+			p.state = pointRunning
+			s.running++
+			return p
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete records a finished point, persists a success to the store, and
+// settles every job that was waiting on it.
+func (s *scheduler) complete(st *Store, p *point, ticks sim.Tick, err error) {
+	if err == nil {
+		// Persist before publishing: a job observed as done must survive a
+		// restart. A store write failure degrades to memory-only (the run
+		// itself succeeded).
+		_ = st.Put(p.spec, ticks)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	p.ticks = ticks
+	p.err = err
+	if err != nil {
+		p.state = pointFailed
+	} else {
+		p.state = pointDone
+	}
+	delete(s.points, p.fp)
+	for j := range p.jobs {
+		s.refreshJobLocked(j)
+	}
+	s.cond.Broadcast()
+}
+
+// cancel marks a job cancelled and withdraws its interest from every pending
+// point; points no other job wants are skipped without simulating. Running
+// points complete normally — their results are still worth storing.
+func (s *scheduler) cancel(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if j.cancelled || j.finished {
+		return j, true
+	}
+	j.cancelled = true
+	for _, p := range j.points {
+		if p.jobs == nil {
+			continue
+		}
+		delete(p.jobs, j)
+		if p.state == pointPending && len(p.jobs) == 0 {
+			heap.Remove(&s.pending, p.index)
+			p.state = pointSkipped
+			p.err = fmt.Errorf("sweepd: cancelled before running")
+			delete(s.points, p.fp)
+		}
+	}
+	s.finishJobLocked(j)
+	s.cond.Broadcast()
+	return j, true
+}
+
+// refreshJobLocked closes the job's done channel once every point it needs
+// is terminal.
+func (s *scheduler) refreshJobLocked(j *job) {
+	if j.finished || j.cancelled {
+		return
+	}
+	for _, p := range j.points {
+		if !p.state.terminal() {
+			return
+		}
+	}
+	s.finishJobLocked(j)
+}
+
+func (s *scheduler) finishJobLocked(j *job) {
+	if !j.finished {
+		j.finished = true
+		close(j.done)
+	}
+}
+
+// get looks a job up by ID.
+func (s *scheduler) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// status snapshots one job.
+func (s *scheduler) status(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Client: j.client, Priority: j.priority,
+		Total: len(j.points), CachedAtSubmit: j.cached, State: JobRunning,
+	}
+	for _, p := range j.points {
+		switch p.state {
+		case pointDone:
+			st.Done++
+		case pointFailed, pointSkipped:
+			st.Failed++
+		case pointRunning:
+			st.Running++
+		default:
+			st.Pending++
+		}
+	}
+	if j.cancelled {
+		st.State = JobCancelled
+	} else if j.finished {
+		st.State = JobDone
+	}
+	return st
+}
+
+// results assembles the canonical per-point records in submit order. The
+// Perf of a technology point divides its baseline's ticks by its own, the
+// exact computation of experiments.Runner.Sweep.
+func (s *scheduler) results(j *job) ([]PointResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !j.finished {
+		return nil, false
+	}
+	out := make([]PointResult, len(j.specs))
+	for i, spec := range j.specs {
+		p := j.points[spec.Fingerprint()]
+		res := PointResult{Spec: spec}
+		switch {
+		case p.state != pointDone:
+			res.Err = pointErrString(p)
+		case spec.IsIdeal():
+			res.Ticks, res.Perf = p.ticks, 1
+		default:
+			res.Ticks = p.ticks
+			base := j.points[spec.Baseline().Fingerprint()]
+			if base.state != pointDone {
+				res.Ticks = 0
+				res.Err = fmt.Sprintf("ideal baseline for %v: %s", spec, pointErrString(base))
+			} else {
+				res.Perf = float64(base.ticks) / float64(p.ticks)
+			}
+		}
+		out[i] = res
+	}
+	return out, true
+}
+
+func pointErrString(p *point) string {
+	if p.err != nil {
+		return p.err.Error()
+	}
+	return "sweepd: point not run"
+}
+
+// serverCounts snapshots the queue-level numbers for the status endpoint.
+func (s *scheduler) serverCounts() (jobs, active, pending, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs = len(s.jobs)
+	for _, j := range s.jobs {
+		if !j.finished {
+			active++
+		}
+	}
+	return jobs, active, s.pending.Len(), s.running
+}
+
+// close stops the intake (submit errors) and wakes every blocked worker so
+// they drain the remaining queue and exit.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *scheduler) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// runPoint executes one point with the same panic recovery as the in-process
+// runner: a diverging simulation fails its point, not the server.
+func runPoint(ctx context.Context, run func(context.Context, experiments.RunSpec) (sim.Tick, error),
+	spec experiments.RunSpec) (ticks sim.Tick, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ticks, err = 0, fmt.Errorf("sweepd: %v panicked: %v\n%s", spec, p, debug.Stack())
+		}
+	}()
+	return run(ctx, spec)
+}

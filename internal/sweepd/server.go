@@ -1,0 +1,341 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/guard"
+	"gem5rtl/internal/obs"
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/stats"
+)
+
+// Config tunes a sweep server. The zero value is a usable in-memory server
+// with runtime.NumCPU() workers and no warm start.
+type Config struct {
+	// Workers is the simulation worker pool size; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+	// StoreDir persists results as <fingerprint>.json files; "" keeps the
+	// store in memory only (it then dies with the process).
+	StoreDir string
+	// CkptDir is the shared warm-start checkpoint directory; with Warmup > 0
+	// every worker populates and restores snapshots from it, so shards warm
+	// each other and a restarted server inherits the previous one's prefixes.
+	CkptDir string
+	// Warmup enables warm-start checkpointing at this simulated tick
+	// (0 = cold runs).
+	Warmup sim.Tick
+	// Guard attaches a default liveness watchdog to every point, so a hung
+	// simulation fails its point with a diagnostic instead of stalling a
+	// worker until the simulated time limit.
+	Guard bool
+	// Quota bounds any one client's live (queued or running) points;
+	// 0 = unlimited. Joining an in-flight point or reading the store is
+	// always free — the quota prices new simulation work only.
+	Quota int
+	// RunPoint overrides the per-point executor; nil means experiments.Run
+	// with the options implied by Warmup/CkptDir/Guard. Tests use it to
+	// count executions and inject failures.
+	RunPoint func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error)
+	// StreamPeriod is the progress stream's record period (0 = 1s). The e2e
+	// tests shorten it so streams produce records quickly.
+	StreamPeriod time.Duration
+}
+
+// Server is the sweep service: an HTTP handler plus the worker pool behind
+// it. Construct with New, mount Handler on any mux or httptest server, call
+// Start to launch the workers, and stop with Drain (finish the queue) or
+// Close (abandon it).
+type Server struct {
+	cfg   Config
+	store *Store
+	sched *scheduler
+	run   func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error)
+	reg   *stats.Registry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	started  bool
+}
+
+// New builds a server: opens (and recovers) the result store and composes
+// the per-point executor from the config.
+func New(cfg Config) (*Server, error) {
+	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	s := &Server{cfg: cfg, store: store, sched: newScheduler()}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.run = cfg.RunPoint
+	if s.run == nil {
+		var opts []experiments.Option
+		if cfg.Warmup > 0 {
+			opts = append(opts, experiments.WithWarmStart(cfg.Warmup, experiments.NewCheckpointCache(cfg.CkptDir)))
+		}
+		if cfg.Guard {
+			opts = append(opts, experiments.WithWatchdog(guard.Config{}))
+		}
+		s.run = func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			return experiments.Run(ctx, spec, opts...)
+		}
+	}
+	s.reg = stats.NewRegistry()
+	obs.RegisterHostStats(s.reg)
+	s.reg.Register("sweepd.points.pending", "simulation points queued", func() float64 {
+		_, _, pending, _ := s.sched.serverCounts()
+		return float64(pending)
+	})
+	s.reg.Register("sweepd.points.running", "simulation points executing", func() float64 {
+		_, _, _, running := s.sched.serverCounts()
+		return float64(running)
+	})
+	s.reg.Register("sweepd.store.len", "results in the persistent store", func() float64 {
+		return float64(store.Len())
+	})
+	return s, nil
+}
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// worker pulls points off the scheduler until it closes with an empty queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		p := s.sched.next()
+		if p == nil {
+			return
+		}
+		ticks, err := runPoint(s.ctx, s.run, p.spec)
+		s.sched.complete(s.store, p, ticks, err)
+	}
+}
+
+// Store exposes the result store (the e2e tests assert on its length).
+func (s *Server) Store() *Store { return s.store }
+
+// Drain stops accepting jobs, lets the workers finish every queued point,
+// and returns when the pool has exited or ctx ends (in which case the
+// remaining work is abandoned as in Close).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.sched.close()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close abandons the queue: in-flight points are cancelled through their
+// context and the worker pool is awaited.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.sched.close()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/status", s.handleServerStatus)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	return mux
+}
+
+// writeJSON writes one JSON value with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, errorf("server is draining"))
+		return
+	}
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorf("decoding submit request: %v", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorf("empty batch: submit at least one spec"))
+		return
+	}
+	for i, spec := range req.Specs {
+		if err := spec.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorf("spec[%d]: %v", i, err))
+			return
+		}
+	}
+	j, err := s.sched.submit(s.store, req, s.cfg.Quota)
+	if err != nil {
+		code := http.StatusServiceUnavailable
+		if s.cfg.Quota > 0 && !s.sched.isClosed() {
+			code = http.StatusTooManyRequests
+		}
+		writeJSON(w, code, errorf("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Points: len(j.points), Cached: j.cached})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sched.status(j))
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	results, done := s.sched.results(j)
+	if !done {
+		writeJSON(w, http.StatusConflict, errorf("job %s is still running; poll status or stream", j.id))
+		return
+	}
+	// Canonical encoding: compact records, one array, trailing newline —
+	// byte-identical to sweepctl's local mode over the same batch.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(EncodeResults(results))
+}
+
+// EncodeResults renders the canonical results document. Both the results
+// endpoint and sweepctl's local mode use it, so the two paths can be diffed
+// byte for byte.
+func EncodeResults(results []PointResult) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		// A struct of strings, integers and floats cannot fail to encode.
+		panic("sweepd: encoding results: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	// Stream interval records until the job finishes or the client leaves;
+	// the streamer emits one final record on cancellation so even an
+	// already-done job yields a complete snapshot.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+		}
+		cancel()
+	}()
+	streamer := &obs.HostIntervalStreamer{
+		Reg:    s.reg,
+		W:      w,
+		Period: s.cfg.StreamPeriod,
+		Annotate: func(rec *obs.IntervalRecord) {
+			rec.Extra = s.sched.status(j)
+		},
+	}
+	_ = streamer.Run(ctx)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sched.status(j))
+}
+
+func (s *Server) handleServerStatus(w http.ResponseWriter, r *http.Request) {
+	jobs, active, pending, running := s.sched.serverCounts()
+	hits, misses, stale := obs.CkptCacheCounts()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ServerStatus{
+		Jobs: jobs, ActiveJobs: active,
+		PointsPending: pending, PointsRunning: running,
+		StoreLen: s.store.Len(), Draining: draining, Workers: s.cfg.Workers,
+		CkptCache: CkptCacheCounts{Hits: hits, Misses: misses, Stale: stale},
+	})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	s.sched.close()
+	_, _, pending, running := s.sched.serverCounts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining":       true,
+		"already":        already,
+		"points_pending": pending,
+		"points_running": running,
+	})
+}

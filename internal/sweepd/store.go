@@ -1,0 +1,124 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+// storeEntry is one persisted result: the spec (so the file is
+// self-describing and auditable) and its simulated completion time. Only
+// successful runs are stored — a failed point re-simulates on the next
+// submission instead of caching its error forever.
+type storeEntry struct {
+	Spec  experiments.RunSpec `json:"spec"`
+	Ticks sim.Tick            `json:"ticks"`
+}
+
+// Store is the persistent result store: a memory map in front of a directory
+// of <fingerprint>.json files. The fingerprint is the hex SHA-256 of the
+// spec's canonical JSON (experiments.RunSpec.Fingerprint), so two servers
+// pointed at the same directory agree on keys byte-for-byte, and a restarted
+// server recovers every previously simulated point at boot.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+	mem map[string]storeEntry
+}
+
+// OpenStore opens (and on first use creates) a store rooted at dir, loading
+// every valid persisted result. dir may be "" for a purely in-memory store
+// that does not survive restarts. A file whose content does not match its
+// fingerprint name — a truncated write from a crashed server, a hand-edited
+// entry — is skipped, not trusted.
+func OpenStore(dir string) (*Store, error) {
+	st := &Store{dir: dir, mem: map[string]storeEntry{}}
+	if dir == "" {
+		return st, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweepd: result store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: result store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		fp := strings.TrimSuffix(name, ".json")
+		buf, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var ent storeEntry
+		if err := json.Unmarshal(buf, &ent); err != nil {
+			continue
+		}
+		// Integrity gate: the stored spec must hash to the file's name.
+		if ent.Spec.Fingerprint() != fp || ent.Spec.Validate() != nil {
+			continue
+		}
+		st.mem[fp] = ent
+	}
+	return st, nil
+}
+
+// Get returns the stored result for a fingerprint.
+func (st *Store) Get(fp string) (storeEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.mem[fp]
+	return e, ok
+}
+
+// Len reports how many results the store holds.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.mem)
+}
+
+// Put records a result in memory and, for a directory-backed store, on disk
+// with a write-then-rename so a crash mid-write never leaves a torn file for
+// the next boot's integrity gate to reject.
+func (st *Store) Put(spec experiments.RunSpec, ticks sim.Tick) error {
+	fp := spec.Fingerprint()
+	ent := storeEntry{Spec: spec, Ticks: ticks}
+	st.mu.Lock()
+	st.mem[fp] = ent
+	st.mu.Unlock()
+	if st.dir == "" {
+		return nil
+	}
+	buf, err := json.Marshal(ent)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, ".result-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, fp+".json")); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
