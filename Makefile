@@ -18,10 +18,10 @@ bench:
 	$(GO) run ./cmd/kernelbench -out BENCH_kernel.json
 
 # CI gate: run the suite and fail on >10% regression vs the committed
-# baseline (allocs/op, B/op, calendar-queue speedup).
+# baseline (allocs/op, B/op, calendar-queue and RTL compile speedups).
 bench-check:
 	$(GO) run ./cmd/kernelbench -baseline BENCH_kernel.json
 
 # Enforce godoc comments on every exported symbol of the kernel packages.
 doccheck:
-	$(GO) run ./cmd/doccheck ./internal/sim ./internal/port ./internal/sweepd
+	$(GO) run ./cmd/doccheck ./internal/sim ./internal/port ./internal/sweepd ./internal/rtlc

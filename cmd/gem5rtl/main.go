@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/guard"
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
 	"gem5rtl/internal/trace"
@@ -53,6 +55,7 @@ func main() {
 	program := flag.String("program", "sort", "guest program: sort, loop, stream, none")
 	n := flag.Int("n", 200, "workload size parameter")
 	withPMU := flag.Bool("pmu", false, "attach the PMU RTL model to core 0")
+	rtlEngine := flag.String("rtl-engine", "", "RTL simulation engine: "+engineChoices()+" (default bytecode; results are engine-independent)")
 	nvdlas := flag.Int("nvdla", 0, "number of NVDLA accelerator instances")
 	inflight := flag.Int("inflight", 64, "per-NVDLA max in-flight memory requests")
 	dlaWorkload := flag.String("dla-workload", "sanity3", "NVDLA trace: sanity3 or googlenet")
@@ -93,6 +96,7 @@ func main() {
 	cfg.Cores = *cores
 	cfg.Memory = *memName
 	cfg.WithPMU = *withPMU
+	cfg.RTLEngine = rtl.Engine(*rtlEngine)
 	cfg.NVDLAs = *nvdlas
 	cfg.NVDLAMaxInflight = *inflight
 	cfg.NVDLAScratchpad = *scratchpad
@@ -314,6 +318,15 @@ func main() {
 	fmt.Printf("# simulated %.3f ms (%d events)\n",
 		float64(s.Queue.Now())/float64(sim.Millisecond), s.Queue.Dispatched())
 	s.Stats.Dump(os.Stdout)
+}
+
+// engineChoices renders the registered RTL engines for flag help.
+func engineChoices() string {
+	names := make([]string, 0, 2)
+	for _, e := range rtl.Engines() {
+		names = append(names, string(e))
+	}
+	return strings.Join(names, ", ")
 }
 
 func fatal(err error) {

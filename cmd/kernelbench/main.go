@@ -6,8 +6,8 @@
 //	go run ./cmd/kernelbench -out BENCH_kernel.json
 //
 // CI gate — run the suite and fail on >10% regression against the committed
-// baseline (allocs/op, B/op and the calendar-queue speedup; see
-// PERFORMANCE.md for why raw ns/op is not gated):
+// baseline (allocs/op, B/op, the calendar-queue speedup and the RTL compile
+// speedup; see PERFORMANCE.md for why raw ns/op is not gated):
 //
 //	go run ./cmd/kernelbench -baseline BENCH_kernel.json
 package main
@@ -34,6 +34,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
 	fmt.Fprintf(os.Stderr, "calendar speedup vs reference heap: %.2fx\n", rep.CalendarSpeedup)
+	fmt.Fprintf(os.Stderr, "rtl bytecode speedup vs closure engine: %.2fx\n", rep.RTLSpeedup)
 
 	if *out != "" {
 		buf, err := rep.Marshal()

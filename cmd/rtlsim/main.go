@@ -22,6 +22,9 @@ import (
 	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/verilog"
 	"gem5rtl/internal/vhdl"
+
+	// Link in the optimizing bytecode engine for -rtl-engine=bytecode.
+	_ "gem5rtl/internal/rtlc"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "save model state here after the run")
 	restPath := flag.String("restore", "", "restore model state from here before the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	engineName := flag.String("rtl-engine", "", "simulation engine: closure or bytecode (default closure; results are engine-independent)")
 	var sets multiFlag
 	flag.Var(&sets, "set", "drive input: name=value (repeatable)")
 	flag.Parse()
@@ -53,12 +57,16 @@ func main() {
 		fatal(err)
 	}
 
+	engine, err := rtl.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 	var model *rtl.Model
 	switch {
 	case strings.HasSuffix(path, ".v") || strings.HasSuffix(path, ".sv"):
-		model, err = verilog.Compile(string(src), *top, nil)
+		model, err = verilog.CompileEngine(string(src), *top, nil, engine)
 	case strings.HasSuffix(path, ".vhd") || strings.HasSuffix(path, ".vhdl"):
-		model, err = vhdl.Compile(string(src), *top, nil)
+		model, err = vhdl.CompileEngine(string(src), *top, nil, engine)
 	default:
 		err = fmt.Errorf("unknown HDL extension on %q (want .v/.sv/.vhd/.vhdl)", path)
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"gem5rtl/internal/mem"
+	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/sim"
 )
 
@@ -28,6 +29,12 @@ type RunSpec struct {
 	Scale int `json:"scale"`
 	// Limit bounds one run's simulated time, in ticks.
 	Limit sim.Tick `json:"limit"`
+	// RTLEngine selects the RTL simulation engine ("closure" or
+	// "bytecode"; empty = the production default). Engines are
+	// dispatch-identical, so this field is an execution-strategy knob: it
+	// is excluded from the canonical encoding and the fingerprint, and two
+	// specs differing only in engine are the same simulation point.
+	RTLEngine string `json:"rtl_engine,omitempty"`
 }
 
 // String renders the spec for progress lines and error messages.
@@ -101,18 +108,24 @@ func (s RunSpec) Validate() error {
 	if s.Limit == 0 {
 		return fmt.Errorf("experiments: invalid spec: limit 0 (want a simulated-time bound in ticks, e.g. %d for 8 s)", 8*sim.Second)
 	}
+	if s.RTLEngine != "" {
+		if _, err := rtl.ParseEngine(s.RTLEngine); err != nil {
+			return fmt.Errorf("experiments: invalid spec: %w", err)
+		}
+	}
 	return nil
 }
 
 // runSpecJSON mirrors RunSpec for strict decoding without recursing into
 // RunSpec.UnmarshalJSON.
 type runSpecJSON struct {
-	Workload string   `json:"workload"`
-	NVDLAs   int      `json:"nvdlas"`
-	Memory   string   `json:"memory"`
-	Inflight int      `json:"inflight"`
-	Scale    int      `json:"scale"`
-	Limit    sim.Tick `json:"limit"`
+	Workload  string   `json:"workload"`
+	NVDLAs    int      `json:"nvdlas"`
+	Memory    string   `json:"memory"`
+	Inflight  int      `json:"inflight"`
+	Scale     int      `json:"scale"`
+	Limit     sim.Tick `json:"limit"`
+	RTLEngine string   `json:"rtl_engine,omitempty"`
 }
 
 // UnmarshalJSON decodes a spec strictly: an unknown field is an error, so a
@@ -133,7 +146,11 @@ func (s *RunSpec) UnmarshalJSON(data []byte) error {
 // declaration order. Two equal specs always produce identical bytes, so the
 // encoding is usable as a deduplication key.
 func (s RunSpec) CanonicalJSON() []byte {
-	b, err := json.Marshal(runSpecJSON(s))
+	raw := runSpecJSON(s)
+	// Engines are dispatch-identical: the engine choice must not split the
+	// result-store key space, so it never reaches the canonical bytes.
+	raw.RTLEngine = ""
+	b, err := json.Marshal(raw)
 	if err != nil {
 		// Marshalling a struct of strings and integers cannot fail.
 		panic("experiments: RunSpec canonical encoding: " + err.Error())
@@ -169,5 +186,5 @@ func ParseSpecs(data []byte) ([]RunSpec, error) {
 // Spec converts a DSEParams-era positional call into a RunSpec.
 func (p DSEParams) Spec(workload string, nDLA int, memory string, inflight int) RunSpec {
 	return RunSpec{Workload: workload, NVDLAs: nDLA, Memory: memory,
-		Inflight: inflight, Scale: p.Scale, Limit: p.Limit}
+		Inflight: inflight, Scale: p.Scale, Limit: p.Limit, RTLEngine: p.RTLEngine}
 }

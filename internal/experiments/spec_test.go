@@ -67,6 +67,42 @@ func TestFingerprint(t *testing.T) {
 	}
 }
 
+// TestRTLEngineExcludedFromFingerprint checks the engine knob is pure
+// execution strategy: it decodes strictly, it validates, and it never
+// reaches the canonical bytes or the fingerprint — two specs differing only
+// in engine are one simulation point and share baselines and result-store
+// entries.
+func TestRTLEngineExcludedFromFingerprint(t *testing.T) {
+	base := validSpec()
+	closure, bytecode := base, base
+	closure.RTLEngine = "closure"
+	bytecode.RTLEngine = "bytecode"
+	if base.Fingerprint() != closure.Fingerprint() || base.Fingerprint() != bytecode.Fingerprint() {
+		t.Error("engine choice changed the fingerprint")
+	}
+	if string(closure.CanonicalJSON()) != string(base.CanonicalJSON()) {
+		t.Errorf("engine leaked into canonical bytes: %s", closure.CanonicalJSON())
+	}
+	for _, s := range []RunSpec{closure, bytecode} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("engine %q rejected: %v", s.RTLEngine, err)
+		}
+	}
+	bad := base
+	bad.RTLEngine = "jit"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "jit") {
+		t.Errorf("unknown engine not rejected by name: err=%v", err)
+	}
+	// The strict decoder accepts the field and carries it through.
+	var back RunSpec
+	if err := json.Unmarshal([]byte(`{"workload":"sanity3","nvdlas":1,"memory":"ideal","inflight":16,"scale":32,"limit":1,"rtl_engine":"closure"}`), &back); err != nil {
+		t.Fatalf("strict decode rejected rtl_engine: %v", err)
+	}
+	if back.RTLEngine != "closure" {
+		t.Errorf("rtl_engine not decoded: %+v", back)
+	}
+}
+
 // TestValidate checks every field's range and that errors name the offending
 // field with its valid choices.
 func TestValidate(t *testing.T) {

@@ -10,6 +10,9 @@
 //     queue and the reference binary heap so their ratio (the calendar
 //     speedup) is a machine-independent quantity;
 //   - packet/pool — the pooled packet fast path;
+//   - rtl/* — the PMU RTL model ticked under the closure reference engine
+//     and the optimizing bytecode engine, so their ratio (the RTL compile
+//     speedup) is a machine-independent quantity;
 //   - sweep/* — the 12-config sanity3 DSE grid of BenchmarkSweep, cold and
 //     warm-start, exercising the whole simulator.
 //
@@ -23,7 +26,9 @@ import (
 	"testing"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/sim"
 )
 
@@ -42,6 +47,8 @@ func Suite() []Bench {
 		{"queue/reference", func(b *testing.B) { benchQueueChurn(b, true) }},
 		{"queue/oneshot", benchOneShot},
 		{"packet/pool", benchPacketPool},
+		{"rtl/closure", func(b *testing.B) { benchRTL(b, rtl.EngineClosure) }},
+		{"rtl/bytecode", func(b *testing.B) { benchRTL(b, rtl.EngineBytecode) }},
 		{"sweep/cold", func(b *testing.B) { benchSweep(b, false) }},
 		{"sweep/warm", func(b *testing.B) { benchSweep(b, true) }},
 	}
@@ -113,6 +120,39 @@ func benchPacketPool(b *testing.B) {
 		pkt.MakeResponse()
 		pkt.AllocateData()
 		pkt.Release()
+	}
+}
+
+// benchRTL measures the RTL hot path — one full PMU model clock cycle under
+// the given engine — on the duty cycle the SoC actually presents: the PMU is
+// clocked every cycle, but commit/miss event pulses arrive in bursts (one
+// active cycle in eight here) with idle cycles between them. One op = one
+// Tick. Both engine rows run the identical stimulus, so their ns/op ratio —
+// the RTL compile speedup — measures how the engines split the same work:
+// the closure engine re-evaluates the whole model every cycle while the
+// bytecode engine's dirty-set gating elides the quiet cycles' evaluations.
+// Steady state must not allocate on either engine.
+func benchRTL(b *testing.B, engine rtl.Engine) {
+	m, err := pmu.CompileModelEngine(pmu.NumCounters, engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Enable every event line through the AXI port (one configuration
+	// write), then idle the port for the timed loop.
+	m.SetInput("awvalid", 1)
+	m.SetInput("awaddr", pmu.RegEnable)
+	m.SetInput("wdata", (1<<6)-1)
+	m.Tick()
+	m.SetInput("awvalid", 0)
+	events := m.InputID("events")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ev uint64
+		if i&7 == 0 {
+			ev = uint64(i>>3)&0x3f | 1 // commit burst; bit 0 always pulses
+		}
+		m.SetInputID(events, ev)
+		m.Tick()
 	}
 }
 

@@ -24,8 +24,12 @@ type Report struct {
 	// CalendarSpeedup is queue/reference ns/op divided by queue/calendar
 	// ns/op from the same run — the event-kernel speedup, computed on one
 	// machine and therefore comparable across machines.
-	CalendarSpeedup float64  `json:"calendar_speedup"`
-	Results         []Result `json:"results"`
+	CalendarSpeedup float64 `json:"calendar_speedup"`
+	// RTLSpeedup is rtl/closure ns/op divided by rtl/bytecode ns/op from
+	// the same run — the RTL compiler's speedup over the closure reference
+	// engine, machine-relative like CalendarSpeedup.
+	RTLSpeedup float64  `json:"rtl_compile_speedup"`
+	Results    []Result `json:"results"`
 }
 
 // Collect runs the whole suite through testing.Benchmark and assembles the
@@ -53,6 +57,9 @@ func Collect(logf func(format string, args ...any)) Report {
 	if cal, ref := ns["queue/calendar"], ns["queue/reference"]; cal > 0 {
 		rep.CalendarSpeedup = ref / cal
 	}
+	if fast, slow := ns["rtl/bytecode"], ns["rtl/closure"]; fast > 0 {
+		rep.RTLSpeedup = slow / fast
+	}
 	return rep
 }
 
@@ -79,7 +86,8 @@ func ParseReport(data []byte) (Report, error) {
 //   - allocs/op and B/op per benchmark: machine-independent, must not grow
 //     by more than threshold (plus a small absolute floor so a 0→1 alloc
 //     blip on a tiny benchmark doesn't fail spuriously);
-//   - CalendarSpeedup: must not fall more than threshold below baseline.
+//   - CalendarSpeedup and RTLSpeedup: same-run ratios, must not fall more
+//     than threshold below baseline.
 //
 // Raw ns/op is informational only — a CI runner is not the machine the
 // baseline was measured on.
@@ -125,6 +133,14 @@ func Compare(current, baseline Report, threshold float64) []string {
 			problems = append(problems, fmt.Sprintf(
 				"calendar speedup %.2fx fell below baseline %.2fx - %d%% = %.2fx",
 				current.CalendarSpeedup, baseline.CalendarSpeedup, int(threshold*100), floor))
+		}
+	}
+	if baseline.RTLSpeedup > 0 {
+		floor := baseline.RTLSpeedup * (1 - threshold)
+		if current.RTLSpeedup < floor {
+			problems = append(problems, fmt.Sprintf(
+				"rtl compile speedup %.2fx fell below baseline %.2fx - %d%% = %.2fx",
+				current.RTLSpeedup, baseline.RTLSpeedup, int(threshold*100), floor))
 		}
 	}
 	return problems

@@ -22,6 +22,10 @@ import (
 	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/rtlobject"
 	"gem5rtl/internal/verilog"
+
+	// Link in the optimizing bytecode engine so every PMU user can select
+	// it by name (rtl.EngineBytecode).
+	_ "gem5rtl/internal/rtlc"
 )
 
 // NumCounters matches Table 1: 20 32-bit counters.
@@ -132,9 +136,15 @@ endmodule
 	return b.String()
 }
 
-// CompileModel runs the Verilog toolflow on the generated PMU source.
+// CompileModel runs the Verilog toolflow on the generated PMU source using
+// the closure reference engine.
 func CompileModel(nc int) (*rtl.Model, error) {
-	return verilog.Compile(VerilogSource(nc), "pmu", nil)
+	return CompileModelEngine(nc, rtl.EngineClosure)
+}
+
+// CompileModelEngine is CompileModel with an explicit simulation engine.
+func CompileModelEngine(nc int, engine rtl.Engine) (*rtl.Model, error) {
+	return verilog.CompileEngine(VerilogSource(nc), "pmu", nil, engine)
 }
 
 // Wrapper is the shared-library wrapper of Figure 3: it drives the PMU
@@ -172,9 +182,15 @@ type Wrapper struct {
 	prevIrq bool
 }
 
-// NewWrapper compiles the PMU RTL and builds its wrapper.
+// NewWrapper compiles the PMU RTL with the closure reference engine and
+// builds its wrapper.
 func NewWrapper(nc int) (*Wrapper, error) {
-	m, err := CompileModel(nc)
+	return NewWrapperEngine(nc, rtl.EngineClosure)
+}
+
+// NewWrapperEngine is NewWrapper with an explicit simulation engine.
+func NewWrapperEngine(nc int, engine rtl.Engine) (*Wrapper, error) {
+	m, err := CompileModelEngine(nc, engine)
 	if err != nil {
 		return nil, err
 	}

@@ -11,16 +11,26 @@ import (
 // single linear pass rather than a fixed-point iteration; a combinational
 // loop is rejected at compile time. Model is not safe for concurrent use.
 type Model struct {
-	c     *Circuit
-	vals  []uint64
-	masks []uint64
-	mems  [][]uint64
-	order []int // indices into c.Combs in evaluation order
-	cycle uint64
+	c      *Circuit
+	engine Engine
+	vals   []uint64
+	masks  []uint64
+	mems   [][]uint64
+	order  []int // indices into c.Combs in evaluation order
+	cycle  uint64
+
+	// backend, when non-nil, replaces the closure-compiled hot path below
+	// for Eval/Tick (see Backend). vals then aliases backend.Vals(), so the
+	// architectural surface (Peek, SetInput, VCD, checkpoints, fault
+	// injection) is engine-independent by construction.
+	backend Backend
 
 	// nextBuf is scratch space reused across Ticks to avoid per-cycle
 	// allocation of the register next-state vector.
 	nextBuf []uint64
+	// memwBuf is scratch space reused across Ticks for captured memory
+	// writes (pre-edge values), sized once to the write-port count.
+	memwBuf []pendingMemWrite
 
 	// Closure-compiled hot path (see compile.go).
 	combFns []func()
@@ -33,8 +43,24 @@ type Model struct {
 	vcd *VCDWriter
 }
 
-// Compile validates, levelises, and instantiates a circuit.
-func Compile(c *Circuit) (*Model, error) {
+// pendingMemWrite is a memory write captured with pre-edge values, applied
+// at commit time (non-blocking semantics).
+type pendingMemWrite struct {
+	mem  MemID
+	addr int
+	data uint64
+}
+
+// Compile validates, levelises, and instantiates a circuit on the closure
+// reference engine. Use CompileEngine to select another engine.
+func Compile(c *Circuit) (*Model, error) { return CompileEngine(c, EngineClosure) }
+
+// CompileEngine validates, levelises, and instantiates a circuit on the
+// named engine. The empty string selects the closure reference engine; other
+// names must have been made available via RegisterEngine (for bytecode,
+// linking internal/rtlc into the binary suffices). Whatever the engine, the
+// resulting Model is bit-exact: same values, VCD, checkpoints, state hashes.
+func CompileEngine(c *Circuit, engine Engine) (*Model, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -42,9 +68,12 @@ func Compile(c *Circuit) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	if engine == "" {
+		engine = EngineClosure
+	}
 	m := &Model{
 		c:       c,
-		vals:    make([]uint64, len(c.Signals)),
+		engine:  engine,
 		masks:   make([]uint64, len(c.Signals)),
 		mems:    make([][]uint64, len(c.Mems)),
 		order:   order,
@@ -63,7 +92,26 @@ func Compile(c *Circuit) (*Model, error) {
 	for i, mem := range c.Mems {
 		m.mems[i] = make([]uint64, mem.Depth)
 	}
-	m.buildFns()
+	if engine == EngineClosure {
+		m.vals = make([]uint64, len(c.Signals))
+		m.buildFns()
+	} else {
+		build, ok := engineBuilders[engine]
+		if !ok {
+			return nil, fmt.Errorf("rtl: unknown engine %q (registered: %v); is the engine's package linked in?",
+				engine, Engines())
+		}
+		be, err := build(c, m.mems)
+		if err != nil {
+			return nil, fmt.Errorf("rtl: engine %q: %w", engine, err)
+		}
+		if got := len(be.Vals()); got != len(c.Signals) {
+			return nil, fmt.Errorf("rtl: engine %q returned %d value slots for %d signals",
+				engine, got, len(c.Signals))
+		}
+		m.vals = be.Vals()
+		m.backend = be
+	}
 	m.Reset()
 	return m, nil
 }
@@ -75,6 +123,28 @@ func MustCompile(c *Circuit) *Model {
 		panic(err)
 	}
 	return m
+}
+
+// Engine reports which evaluation engine this model was compiled for.
+func (m *Model) Engine() Engine { return m.engine }
+
+// SeqSkips reports how many sequential next-state evaluations the engine has
+// elided through activity gating since compile (always 0 for the closure
+// reference engine). Skips are a pure performance effect; they never change
+// simulation results.
+func (m *Model) SeqSkips() uint64 {
+	if m.backend != nil {
+		return m.backend.Skipped()
+	}
+	return 0
+}
+
+// invalidate tells the active backend that state was mutated behind its back
+// (reset, checkpoint restore, fault injection, memory poke).
+func (m *Model) invalidate() {
+	if m.backend != nil {
+		m.backend.Invalidate()
+	}
 }
 
 // levelize orders combinational assignments so every assignment runs after
@@ -186,6 +256,7 @@ func (m *Model) Reset() {
 		copy(words, mem.Init)
 	}
 	m.cycle = 0
+	m.invalidate()
 	m.Eval()
 }
 
@@ -245,12 +316,18 @@ func (m *Model) PokeMem(id MemID, addr int, val uint64) {
 	w := m.mems[id]
 	if addr >= 0 && addr < len(w) {
 		w[addr] = val & Mask(m.c.Mems[id].Width)
+		m.invalidate()
 	}
 }
 
 // Eval settles the combinational logic against current inputs and register
-// state: one linear pass of closure-compiled assignments in levelised order.
+// state: one linear pass of compiled assignments in levelised order (closure
+// calls on the reference engine, bytecode on a registered backend).
 func (m *Model) Eval() {
+	if m.backend != nil {
+		m.backend.Eval()
+		return
+	}
 	for _, fn := range m.combFns {
 		fn()
 	}
@@ -283,20 +360,30 @@ func (m *Model) EvalIterative() int {
 // state, commit, and settle again so outputs reflect the new state. This is
 // the `tick` entry point of the paper's shared-library interface.
 func (m *Model) Tick() {
+	if m.backend != nil {
+		m.backend.Tick()
+	} else {
+		m.closureTick()
+	}
+	m.cycle++
+	if m.vcd != nil && m.vcd.enabled {
+		m.vcd.dump(m)
+	}
+}
+
+// closureTick is one clock cycle on the closure reference engine: eval,
+// capture with pre-edge values, commit, eval.
+func (m *Model) closureTick() {
 	m.Eval()
 	// Capture next-state with pre-edge values (non-blocking semantics).
-	type memw struct {
-		mem  MemID
-		addr int
-		data uint64
-	}
-	var memws []memw
+	// memwBuf is reused across ticks so the hot path stays allocation-free.
+	m.memwBuf = m.memwBuf[:0]
 	for i := range m.memwFns {
 		w := &m.memwFns[i]
 		if w.en() != 0 {
 			addr := int(w.addr())
 			if addr >= 0 && addr < m.c.Mems[w.mem].Depth {
-				memws = append(memws, memw{w.mem, addr, w.data() & w.mask})
+				m.memwBuf = append(m.memwBuf, pendingMemWrite{w.mem, addr, w.data() & w.mask})
 			}
 		}
 	}
@@ -310,14 +397,10 @@ func (m *Model) Tick() {
 	for i := range m.c.Seqs {
 		m.vals[m.c.Seqs[i].Dst] = m.nextBuf[i]
 	}
-	for _, w := range memws {
+	for _, w := range m.memwBuf {
 		m.mems[w.mem][w.addr] = w.data
 	}
-	m.cycle++
 	m.Eval()
-	if m.vcd != nil && m.vcd.enabled {
-		m.vcd.dump(m)
-	}
 }
 
 // eval evaluates an expression against current signal values.

@@ -180,6 +180,34 @@ func TestMemoryReadWrite(t *testing.T) {
 	}
 }
 
+// TestTickZeroAllocs guards the closure engine's Tick hot path against
+// per-cycle allocation, including the memory-write capture buffer, which
+// must be reused across cycles even when write ports fire.
+func TestTickZeroAllocs(t *testing.T) {
+	b := NewBuilder("alloc")
+	we := b.Input("we", 1)
+	waddr := b.Input("waddr", 4)
+	wdata := b.Input("wdata", 32)
+	cnt := b.Reg("cnt", 8, 0)
+	b.Seq(cnt, Add(b.Ref(cnt), C(1, 8)))
+	mem := b.Mem("m", 32, 16)
+	b.MemWr(mem, b.Ref(waddr), b.Ref(wdata), b.Ref(we))
+	out := b.Output("q", 32)
+	b.Assign(out, MemRd(mem, SliceE(b.Ref(cnt), 3, 0), 32))
+	m := MustCompile(mustBuild(t, b))
+	m.SetInput("we", 1)
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		m.SetInput("waddr", i&15)
+		m.SetInput("wdata", i)
+		m.Tick()
+	})
+	if allocs != 0 {
+		t.Fatalf("Tick allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
 func TestMemInit(t *testing.T) {
 	b := NewBuilder("mi")
 	ra := b.Input("ra", 2)

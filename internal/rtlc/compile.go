@@ -1,0 +1,772 @@
+package rtlc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"gem5rtl/internal/rtl"
+)
+
+// The compiler lowers the levelised rtl.Circuit IR to a Program in one
+// demand-driven pass with the optimizations applied online, then a cleanup
+// pass:
+//
+//   - constant folding: any instruction whose register operands all hold
+//     pool constants is executed at compile time by the same interpreter
+//     that runs at simulation time (exec), so folded results can never
+//     diverge from runtime semantics — including the division-by-zero and
+//     shift-overflow corner cases.
+//   - copy propagation: signal reads resolve through a per-segment alias
+//     table to the register that currently holds the value (a temp, another
+//     signal slot, or a pool constant), and provably-redundant masking
+//     copies are elided using a conservative per-register value-width bound.
+//   - common-subexpression elimination: per-segment value numbering over
+//     canonicalised instructions (commutative operands sorted). It is sound
+//     because a segment is SSA-like — every signal has a single driver, the
+//     comb pass runs in levelised order, and memories are constant within a
+//     segment.
+//   - mux/compare fusion: (a==b) ? t : f and the <, >=, !=, <=, > variants
+//     collapse into single OpMux* instructions, the shape that dominates
+//     register-file read muxes; !cond muxes swap arms instead of negating.
+//   - dead-code elimination: a backward liveness sweep per segment drops
+//     instructions whose results reach no signal store or port output (for
+//     example compares subsumed by a fused mux). Signal stores themselves
+//     are never dead: every signal is architecturally observable through
+//     Peek, VCD dumps and checkpoints.
+//
+// Finally the virtual register space is compacted: the constant pool keeps
+// only constants the optimized code still references, and each segment's
+// temporaries are renumbered into one shared scratch region.
+
+// Virtual register space layout during compilation; finalize() renumbers
+// into the dense [signals | constants | temps] file.
+const (
+	tempVBase  = 1 << 28
+	constVBase = 1 << 30
+)
+
+// vnKey identifies an instruction for value numbering: opcode, immediates,
+// operands and mask — everything but the destination.
+type vnKey struct {
+	op     Op
+	wa, wb uint8
+	a, b   uint32
+	c, d   uint32
+	mask   uint64
+}
+
+type coneSet struct {
+	sigs map[rtl.SigID]struct{}
+	mems map[rtl.MemID]struct{}
+}
+
+func newConeSet() *coneSet {
+	return &coneSet{sigs: map[rtl.SigID]struct{}{}, mems: map[rtl.MemID]struct{}{}}
+}
+
+func (cs *coneSet) merge(o *coneSet) {
+	for s := range o.sigs {
+		cs.sigs[s] = struct{}{}
+	}
+	for m := range o.mems {
+		cs.mems[m] = struct{}{}
+	}
+}
+
+type compiler struct {
+	c    *rtl.Circuit
+	nsig int
+
+	// Constant pool under construction (virtual ids; compacted later).
+	constIdx map[uint64]uint32
+	consts   []uint64
+
+	// Global copy-propagation facts: comb-driven signals proven constant.
+	constWire map[rtl.SigID]uint32
+
+	// Per-segment state.
+	code   []Inst
+	vn     map[vnKey]uint32
+	sigVal map[rtl.SigID]uint32
+
+	// Provable value-width bound per temp register (signals and constants
+	// are derived on the fly). Used to elide masking that cannot change the
+	// value — conservative, since Const values and memory init words may
+	// carry bits above their declared width, which the closure engine
+	// propagates raw until the next mask.
+	tempW map[uint32]int
+
+	nTempV uint32
+
+	// fresh tracks whether the most recently returned value register was
+	// produced by the instruction just emitted (and not a CSE hit), which
+	// makes it eligible for store retargeting in root().
+	fresh    bool
+	freshKey vnKey
+
+	// Cone computation.
+	combDriver map[rtl.SigID]rtl.Expr
+	coneMemo   map[rtl.SigID]*coneSet
+}
+
+// Compile validates and lowers a circuit to an optimized Program. The
+// resulting program is bit-exact against the rtl closure engine by
+// construction; see the package tests and FuzzEngines for the enforcement.
+func Compile(c *rtl.Circuit) (*Program, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.CombOrder()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Signals) >= tempVBase {
+		return nil, fmt.Errorf("rtlc: circuit %q has too many signals (%d)", c.Name, len(c.Signals))
+	}
+	cc := &compiler{
+		c:          c,
+		nsig:       len(c.Signals),
+		constIdx:   map[uint64]uint32{},
+		constWire:  map[rtl.SigID]uint32{},
+		tempW:      map[uint32]int{},
+		nTempV:     tempVBase,
+		combDriver: map[rtl.SigID]rtl.Expr{},
+		coneMemo:   map[rtl.SigID]*coneSet{},
+	}
+	for i := range c.Combs {
+		cc.combDriver[c.Combs[i].Dst] = c.Combs[i].Src
+	}
+
+	p := &Program{
+		NSig:     cc.nsig,
+		SigWords: (cc.nsig + 63) / 64,
+		MemWords: (len(c.Mems) + 63) / 64,
+	}
+
+	// Combinational pass: one segment in levelised order, storing into the
+	// architectural signal slots.
+	cc.beginSegment()
+	for _, idx := range order {
+		a := &c.Combs[idx]
+		cc.combRoot(a.Src, a.Dst)
+	}
+	p.Comb = cc.code
+
+	// Sequential next-state functions: one segment each, so the dirty-set
+	// pass can skip them independently.
+	for i := range c.Seqs {
+		sq := &c.Seqs[i]
+		cc.beginSegment()
+		out := cc.port(sq.Next, rtl.Mask(c.Signals[sq.Dst].Width))
+		cone := newConeSet()
+		cc.exprRoots(sq.Next, cone)
+		sp := SeqProg{Dst: sq.Dst, Out: out, Code: cc.code}
+		sp.Cone, sp.MemCone = cc.coneWords(cone)
+		p.Seqs = append(p.Seqs, sp)
+	}
+
+	// Memory write ports: enable and address are raw expression values,
+	// data is masked to the memory width — exactly the closure capture.
+	for i := range c.MemWrites {
+		w := &c.MemWrites[i]
+		mem := &c.Mems[w.Mem]
+		cc.beginSegment()
+		en := cc.port(w.En, ^uint64(0))
+		addr := cc.port(w.Addr, ^uint64(0))
+		data := cc.port(w.Data, rtl.Mask(mem.Width))
+		cone := newConeSet()
+		cc.exprRoots(w.En, cone)
+		cc.exprRoots(w.Addr, cone)
+		cc.exprRoots(w.Data, cone)
+		mw := MemWProg{
+			Mem: w.Mem, Depth: mem.Depth, Mask: rtl.Mask(mem.Width),
+			Code: cc.code, En: en, Addr: addr, Data: data,
+		}
+		mw.Cone, mw.MemCone = cc.coneWords(cone)
+		p.MemWs = append(p.MemWs, mw)
+	}
+
+	for i, s := range c.Signals {
+		if s.Kind == rtl.SigInput {
+			p.Inputs = append(p.Inputs, rtl.SigID(i))
+		}
+	}
+
+	cc.finalize(p)
+	return p, nil
+}
+
+func (cc *compiler) beginSegment() {
+	cc.code = nil
+	cc.vn = map[vnKey]uint32{}
+	cc.sigVal = map[rtl.SigID]uint32{}
+	cc.fresh = false
+}
+
+func (cc *compiler) newTempV() uint32 {
+	r := cc.nTempV
+	cc.nTempV++
+	return r
+}
+
+func (cc *compiler) constReg(v uint64) uint32 {
+	if r, ok := cc.constIdx[v]; ok {
+		return r
+	}
+	r := constVBase + uint32(len(cc.consts))
+	cc.consts = append(cc.consts, v)
+	cc.constIdx[v] = r
+	return r
+}
+
+// constVal reports whether r is a pool constant, and its value.
+func (cc *compiler) constVal(r uint32) (uint64, bool) {
+	if r >= constVBase {
+		return cc.consts[r-constVBase], true
+	}
+	return 0, false
+}
+
+// widthOf returns a provable upper bound on the bit width of the value held
+// in register r.
+func (cc *compiler) widthOf(r uint32) int {
+	switch {
+	case r >= constVBase:
+		return bits.Len64(cc.consts[r-constVBase])
+	case r >= tempVBase:
+		return cc.tempW[r]
+	default:
+		return cc.c.Signals[r].Width
+	}
+}
+
+// resultWidth bounds the width of the value an instruction produces.
+func (cc *compiler) resultWidth(in *Inst) int {
+	switch in.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpSLt, OpSLe, OpSGt, OpSGe,
+		OpLAnd, OpLOr, OpRedXor, OpIndex:
+		return 1
+	case OpShlOr:
+		w := cc.widthOf(in.A) + int(in.WA)
+		if bw := cc.widthOf(in.B); bw > w {
+			w = bw
+		}
+		if w > 64 {
+			w = 64
+		}
+		return w
+	default:
+		return bits.Len64(in.Mask)
+	}
+}
+
+// commutative reports whether the opcode's A/B operands may be swapped.
+func commutative(op Op) bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe, OpLAnd, OpLOr,
+		OpMuxEq, OpMuxNe:
+		return true
+	}
+	return false
+}
+
+// tryFold executes in at compile time when every register operand is a pool
+// constant, using the runtime interpreter itself so fold and execution can
+// never disagree. OpMemRead is excluded (memory contents are runtime state).
+func (cc *compiler) tryFold(in Inst) (uint32, bool) {
+	if in.Op == OpMemRead {
+		return 0, false
+	}
+	var vals [4]uint64
+	n := 0
+	ok := true
+	(&in).eachSrc(func(r *uint32) {
+		if !ok {
+			return
+		}
+		v, isC := cc.constVal(*r)
+		if !isC {
+			ok = false
+			return
+		}
+		vals[n] = v
+		*r = uint32(n)
+		n++
+	})
+	if !ok {
+		return 0, false
+	}
+	regs := [5]uint64{vals[0], vals[1], vals[2], vals[3], 0}
+	in.Dst = 4
+	one := [1]Inst{in}
+	exec(one[:], regs[:], nil)
+	return cc.constReg(regs[4]), true
+}
+
+// emit appends an instruction after canonicalisation, folding and value
+// numbering, and returns the register holding its result.
+func (cc *compiler) emit(in Inst) uint32 {
+	if commutative(in.Op) && in.A > in.B {
+		in.A, in.B = in.B, in.A
+	}
+	if r, ok := cc.tryFold(in); ok {
+		cc.fresh = false
+		return r
+	}
+	key := vnKey{in.Op, in.WA, in.WB, in.A, in.B, in.C, in.D, in.Mask}
+	if r, ok := cc.vn[key]; ok {
+		cc.fresh = false
+		return r
+	}
+	dst := cc.newTempV()
+	in.Dst = dst
+	cc.code = append(cc.code, in)
+	cc.vn[key] = dst
+	cc.tempW[dst] = cc.resultWidth(&in)
+	cc.fresh = true
+	cc.freshKey = key
+	return dst
+}
+
+// resolve returns the register currently holding signal s's value: an alias
+// established earlier in this segment, a proven-constant wire, or the
+// signal's own slot.
+func (cc *compiler) resolve(s rtl.SigID) uint32 {
+	if r, ok := cc.sigVal[s]; ok {
+		return r
+	}
+	if r, ok := cc.constWire[s]; ok {
+		return r
+	}
+	return uint32(s)
+}
+
+// coerce returns a register holding r's value masked with mask, eliding the
+// copy when the mask provably cannot change the value.
+func (cc *compiler) coerce(r uint32, mask uint64) uint32 {
+	if v, ok := cc.constVal(r); ok {
+		if v&mask == v {
+			return r
+		}
+		cc.fresh = false
+		return cc.constReg(v & mask)
+	}
+	if cc.widthOf(r) <= bits.Len64(mask) {
+		return r
+	}
+	return cc.emit(Inst{Op: OpCopy, A: r, Mask: mask})
+}
+
+// port lowers a port expression (sequential next-state, memory-write enable/
+// address/data) and returns the register holding its value under mask.
+func (cc *compiler) port(e rtl.Expr, mask uint64) uint32 {
+	return cc.coerce(cc.expr(e), mask)
+}
+
+// combRoot lowers one combinational assignment, storing into the signal's
+// architectural slot. Where possible the producing instruction is retargeted
+// to write the slot directly (with the destination mask folded in) instead
+// of going through a temp plus copy.
+func (cc *compiler) combRoot(e rtl.Expr, dst rtl.SigID) {
+	dstW := cc.c.Signals[dst].Width
+	dmask := rtl.Mask(dstW)
+	slot := uint32(dst)
+	r := cc.expr(e)
+
+	if v, ok := cc.constVal(r); ok {
+		cc.code = append(cc.code, Inst{Op: OpCopy, Dst: slot, A: r, Mask: dmask})
+		cr := cc.constReg(v & dmask)
+		cc.constWire[dst] = cr
+		cc.sigVal[dst] = cr
+		return
+	}
+	if cc.fresh {
+		last := &cc.code[len(cc.code)-1]
+		if last.Dst == r && (opUsesMask(last.Op) || cc.widthOf(r) <= dstW) {
+			if combined := last.Mask & dmask; !opUsesMask(last.Op) || combined == last.Mask {
+				// The store mask cannot change the value, so the slot
+				// still holds the expression's value for CSE reuse.
+				cc.vn[cc.freshKey] = slot
+			} else {
+				// Narrowing store: the slot no longer carries the full
+				// expression value, so retire the value-number entry.
+				delete(cc.vn, cc.freshKey)
+			}
+			if opUsesMask(last.Op) {
+				last.Mask &= dmask
+			}
+			last.Dst = slot
+			cc.sigVal[dst] = slot
+			cc.fresh = false
+			return
+		}
+	}
+	cc.code = append(cc.code, Inst{Op: OpCopy, Dst: slot, A: r, Mask: dmask})
+	if cc.widthOf(r) <= dstW {
+		cc.sigVal[dst] = r
+	} else {
+		cc.sigVal[dst] = slot
+	}
+	cc.fresh = false
+}
+
+// expr lowers an expression tree, returning the register holding its value.
+func (cc *compiler) expr(e rtl.Expr) uint32 {
+	switch v := e.(type) {
+	case *rtl.Const:
+		cc.fresh = false
+		return cc.constReg(v.Val)
+	case *rtl.Ref:
+		cc.fresh = false
+		return cc.resolve(v.Sig)
+	case *rtl.Unary:
+		return cc.unary(v)
+	case *rtl.Binary:
+		return cc.binary(v)
+	case *rtl.Mux:
+		return cc.mux(v)
+	case *rtl.Slice:
+		x := cc.expr(v.X)
+		mask := rtl.Mask(v.Hi - v.Lo + 1)
+		if v.Lo == 0 {
+			return cc.coerce(x, mask)
+		}
+		return cc.emit(Inst{Op: OpShrC, A: x, WA: uint8(v.Lo), Mask: mask})
+	case *rtl.Index:
+		x := cc.expr(v.X)
+		b := cc.expr(v.Bit)
+		w := v.X.Width()
+		if bv, ok := cc.constVal(b); ok {
+			// Constant bit select: out-of-range reads zero, in-range
+			// lowers to a constant shift.
+			if bv >= uint64(w) {
+				return cc.constReg(0)
+			}
+			return cc.emit(Inst{Op: OpShrC, A: x, WA: uint8(bv), Mask: 1})
+		}
+		return cc.emit(Inst{Op: OpIndex, A: x, B: b, WA: uint8(w)})
+	case *rtl.Concat:
+		// acc = acc<<w | part, left to right — the first iteration's
+		// 0<<w|part collapses to the part itself.
+		var acc uint32
+		for i, part := range v.Parts {
+			pr := cc.expr(part)
+			if i == 0 {
+				acc = pr
+				continue
+			}
+			acc = cc.emit(Inst{Op: OpShlOr, A: acc, B: pr, WA: uint8(part.Width())})
+		}
+		return acc
+	case *rtl.MemRead:
+		a := cc.expr(v.Addr)
+		// Reads are raw (Mask all-ones): the closure engine masks memory
+		// words only at the enclosing store, and init words may legally
+		// carry bits above the declared width.
+		return cc.emit(Inst{Op: OpMemRead, A: a, B: uint32(v.Mem), Mask: ^uint64(0)})
+	}
+	panic(fmt.Sprintf("rtlc: lower of unknown node %T", e))
+}
+
+func (cc *compiler) unary(v *rtl.Unary) uint32 {
+	x := cc.expr(v.X)
+	switch v.Op {
+	case rtl.UnNot:
+		return cc.emit(Inst{Op: OpNot, A: x, Mask: rtl.Mask(v.W)})
+	case rtl.UnNeg:
+		return cc.emit(Inst{Op: OpNeg, A: x, Mask: rtl.Mask(v.W)})
+	case rtl.UnLNot:
+		return cc.emit(Inst{Op: OpEq, A: x, B: cc.constReg(0)})
+	case rtl.UnRedAnd:
+		return cc.emit(Inst{Op: OpEq, A: x, B: cc.constReg(rtl.Mask(v.X.Width()))})
+	case rtl.UnRedOr:
+		return cc.emit(Inst{Op: OpNe, A: x, B: cc.constReg(0)})
+	case rtl.UnRedXor:
+		return cc.emit(Inst{Op: OpRedXor, A: x})
+	}
+	panic(fmt.Sprintf("rtlc: unknown unary op %d", v.Op))
+}
+
+func (cc *compiler) binary(v *rtl.Binary) uint32 {
+	x := cc.expr(v.X)
+	y := cc.expr(v.Y)
+	mask := rtl.Mask(v.W)
+	simple := func(op Op) uint32 {
+		return cc.emit(Inst{Op: op, A: x, B: y, Mask: mask})
+	}
+	switch v.Op {
+	case rtl.OpAdd:
+		return simple(OpAdd)
+	case rtl.OpSub:
+		return simple(OpSub)
+	case rtl.OpMul:
+		return simple(OpMul)
+	case rtl.OpDiv:
+		return simple(OpDiv)
+	case rtl.OpMod:
+		return simple(OpMod)
+	case rtl.OpAnd:
+		return simple(OpAnd)
+	case rtl.OpOr:
+		return simple(OpOr)
+	case rtl.OpXor:
+		return simple(OpXor)
+	case rtl.OpShl:
+		return simple(OpShl)
+	case rtl.OpShr:
+		return simple(OpShr)
+	case rtl.OpSra:
+		return cc.emit(Inst{Op: OpSra, A: x, B: y, WA: uint8(64 - v.X.Width()), Mask: mask})
+	case rtl.OpEq:
+		return simple(OpEq)
+	case rtl.OpNe:
+		return simple(OpNe)
+	case rtl.OpLt:
+		return simple(OpLt)
+	case rtl.OpLe:
+		return simple(OpLe)
+	case rtl.OpGt:
+		return simple(OpGt)
+	case rtl.OpGe:
+		return simple(OpGe)
+	case rtl.OpSLt, rtl.OpSLe, rtl.OpSGt, rtl.OpSGe:
+		op := map[rtl.Op]Op{
+			rtl.OpSLt: OpSLt, rtl.OpSLe: OpSLe, rtl.OpSGt: OpSGt, rtl.OpSGe: OpSGe,
+		}[v.Op]
+		return cc.emit(Inst{
+			Op: op, A: x, B: y,
+			WA: uint8(64 - v.X.Width()), WB: uint8(64 - v.Y.Width()),
+		})
+	case rtl.OpLAnd:
+		return simple(OpLAnd)
+	case rtl.OpLOr:
+		return simple(OpLOr)
+	}
+	panic(fmt.Sprintf("rtlc: unknown binary op %d", v.Op))
+}
+
+func (cc *compiler) mux(v *rtl.Mux) uint32 {
+	cond, t, f := v.Cond, v.T, v.F
+	// !cond muxes swap arms instead of materialising the negation.
+	for {
+		ln, ok := cond.(*rtl.Unary)
+		if !ok || ln.Op != rtl.UnLNot {
+			break
+		}
+		cond = ln.X
+		t, f = f, t
+	}
+	mask := rtl.Mask(v.W)
+	condR := cc.expr(cond)
+	if cv, ok := cc.constVal(condR); ok {
+		arm := t
+		if cv == 0 {
+			arm = f
+		}
+		return cc.coerce(cc.expr(arm), mask)
+	}
+	tR := cc.expr(t)
+	fR := cc.expr(f)
+	// Compare fusion: a cond that is itself an unsigned compare collapses
+	// with the select into one instruction. The standalone compare emitted
+	// while lowering condR above becomes dead and is swept by DCE unless
+	// something else still uses it.
+	if b, ok := cond.(*rtl.Binary); ok {
+		var op Op
+		x, y := b.X, b.Y
+		switch b.Op {
+		case rtl.OpEq:
+			op = OpMuxEq
+		case rtl.OpNe:
+			op = OpMuxNe
+		case rtl.OpLt:
+			op = OpMuxLt
+		case rtl.OpGe:
+			op = OpMuxGe
+		case rtl.OpLe: // a<=b ⇔ b>=a
+			op, x, y = OpMuxGe, b.Y, b.X
+		case rtl.OpGt: // a>b ⇔ b<a
+			op, x, y = OpMuxLt, b.Y, b.X
+		}
+		if op != 0 {
+			xr := cc.expr(x)
+			yr := cc.expr(y)
+			return cc.emit(Inst{Op: op, A: xr, B: yr, C: tR, D: fR, Mask: mask})
+		}
+	}
+	return cc.emit(Inst{Op: OpMux, A: condR, B: tR, C: fR, Mask: mask})
+}
+
+// exprRoots accumulates the root signals (non-comb-driven: inputs, register
+// outputs, undriven wires) and memories that e transitively depends on,
+// following combinational drivers with memoisation.
+func (cc *compiler) exprRoots(e rtl.Expr, cs *coneSet) {
+	switch v := e.(type) {
+	case *rtl.Const:
+	case *rtl.Ref:
+		cc.refRoots(v.Sig, cs)
+	case *rtl.Unary:
+		cc.exprRoots(v.X, cs)
+	case *rtl.Binary:
+		cc.exprRoots(v.X, cs)
+		cc.exprRoots(v.Y, cs)
+	case *rtl.Mux:
+		cc.exprRoots(v.Cond, cs)
+		cc.exprRoots(v.T, cs)
+		cc.exprRoots(v.F, cs)
+	case *rtl.Slice:
+		cc.exprRoots(v.X, cs)
+	case *rtl.Index:
+		cc.exprRoots(v.X, cs)
+		cc.exprRoots(v.Bit, cs)
+	case *rtl.Concat:
+		for _, p := range v.Parts {
+			cc.exprRoots(p, cs)
+		}
+	case *rtl.MemRead:
+		cs.mems[v.Mem] = struct{}{}
+		cc.exprRoots(v.Addr, cs)
+	}
+}
+
+func (cc *compiler) refRoots(s rtl.SigID, cs *coneSet) {
+	if memo, ok := cc.coneMemo[s]; ok {
+		cs.merge(memo)
+		return
+	}
+	drv, ok := cc.combDriver[s]
+	if !ok {
+		cs.sigs[s] = struct{}{}
+		return
+	}
+	sub := newConeSet()
+	cc.exprRoots(drv, sub)
+	cc.coneMemo[s] = sub
+	cs.merge(sub)
+}
+
+// coneWords converts a root set to sorted bitset-intersection masks.
+func (cc *compiler) coneWords(cs *coneSet) (sig, mem []ConeWord) {
+	sigWords := map[int]uint64{}
+	for s := range cs.sigs {
+		sigWords[int(s)>>6] |= 1 << (uint(s) & 63)
+	}
+	memWords := map[int]uint64{}
+	for m := range cs.mems {
+		memWords[int(m)>>6] |= 1 << (uint(m) & 63)
+	}
+	toSlice := func(ws map[int]uint64) []ConeWord {
+		out := make([]ConeWord, 0, len(ws))
+		for w, m := range ws {
+			out = append(out, ConeWord{Word: w, Mask: m})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
+		return out
+	}
+	return toSlice(sigWords), toSlice(memWords)
+}
+
+// segment is one straight-line code region plus the registers that must
+// survive it (port outputs); comb stores to signal slots are implicit roots.
+type segment struct {
+	code *[]Inst
+	outs []*uint32
+}
+
+// finalize runs dead-code elimination per segment and renumbers the virtual
+// register space into the dense [signals | constants | temps] file.
+func (cc *compiler) finalize(p *Program) {
+	segs := []segment{{code: &p.Comb}}
+	for i := range p.Seqs {
+		segs = append(segs, segment{code: &p.Seqs[i].Code, outs: []*uint32{&p.Seqs[i].Out}})
+	}
+	for i := range p.MemWs {
+		w := &p.MemWs[i]
+		segs = append(segs, segment{code: &w.Code, outs: []*uint32{&w.En, &w.Addr, &w.Data}})
+	}
+
+	// Backward liveness DCE within each segment.
+	nsig := uint32(cc.nsig)
+	for _, sg := range segs {
+		live := map[uint32]bool{}
+		for _, out := range sg.outs {
+			live[*out] = true
+		}
+		code := *sg.code
+		kept := make([]Inst, 0, len(code))
+		for i := len(code) - 1; i >= 0; i-- {
+			in := code[i]
+			if in.Dst >= nsig && !live[in.Dst] {
+				continue
+			}
+			(&in).eachSrc(func(r *uint32) { live[*r] = true })
+			kept = append(kept, in)
+		}
+		for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+			kept[i], kept[j] = kept[j], kept[i]
+		}
+		*sg.code = kept
+	}
+
+	// Compact the constant pool to the constants the optimized code still
+	// references, in deterministic first-use order.
+	constMap := map[uint32]uint32{}
+	noteConst := func(r uint32) {
+		if r >= constVBase {
+			if _, ok := constMap[r]; !ok {
+				constMap[r] = nsig + uint32(len(p.Consts))
+				p.Consts = append(p.Consts, cc.consts[r-constVBase])
+			}
+		}
+	}
+	for _, sg := range segs {
+		code := *sg.code
+		for i := range code {
+			(&code[i]).eachSrc(func(r *uint32) { noteConst(*r) })
+		}
+		for _, out := range sg.outs {
+			noteConst(*out)
+		}
+	}
+	p.NConst = len(p.Consts)
+
+	// Renumber temps per segment into one shared scratch region.
+	tempBase := nsig + uint32(p.NConst)
+	maxTemp := 0
+	for _, sg := range segs {
+		tempMap := map[uint32]uint32{}
+		remap := func(r *uint32) {
+			switch {
+			case *r >= constVBase:
+				*r = constMap[*r]
+			case *r >= tempVBase:
+				t, ok := tempMap[*r]
+				if !ok {
+					panic("rtlc: temp used before definition")
+				}
+				*r = t
+			}
+		}
+		code := *sg.code
+		for i := range code {
+			in := &code[i]
+			in.eachSrc(remap)
+			if in.Dst >= tempVBase {
+				t, ok := tempMap[in.Dst]
+				if !ok {
+					t = tempBase + uint32(len(tempMap))
+					tempMap[in.Dst] = t
+				}
+				in.Dst = t
+			}
+		}
+		for _, out := range sg.outs {
+			remap(out)
+		}
+		if len(tempMap) > maxTemp {
+			maxTemp = len(tempMap)
+		}
+	}
+	p.NTemp = maxTemp
+}

@@ -1,0 +1,236 @@
+package rtlc
+
+import (
+	"fmt"
+
+	"gem5rtl/internal/rtl"
+)
+
+// VM executes a compiled Program behind the rtl.Backend interface. The first
+// NSig slots of its register file are the architectural signal values —
+// rtl.Model adopts them as its value store, so Peek/SetInput, VCD dumps,
+// checkpoints and fault injection observe and mutate VM state directly.
+//
+// The sequential pass is activity-gated: each register's next-state program
+// carries the precomputed set of root signals and memories its input cone
+// depends on, and the VM tracks which roots changed (inputs by snapshot
+// comparison, registers and memories by commit-time value comparison). A
+// register whose cone saw no change keeps its value and its evaluation is
+// skipped — observable only through Skipped() and wall-clock time, never in
+// results. Any mutation the VM cannot see (reset, checkpoint restore, fault
+// injection, memory pokes) must call Invalidate, which forces the next Tick
+// to evaluate everything.
+type VM struct {
+	p    *Program
+	regs []uint64
+	mems [][]uint64
+
+	dirty    []uint64
+	memDirty []uint64
+	allDirty bool
+	extEval  bool
+	inSnap   []uint64
+
+	next    []uint64
+	memwBuf []memWrite
+	memRun  []bool
+
+	skipped uint64
+}
+
+type memWrite struct {
+	mem  rtl.MemID
+	addr int
+	data uint64
+}
+
+// NewVM instantiates a VM for a compiled program, sharing the given memory
+// storage (one word slice per circuit memory, depths matching the circuit).
+func NewVM(p *Program, mems [][]uint64) (*VM, error) {
+	for i := range p.MemWs {
+		w := &p.MemWs[i]
+		if int(w.Mem) >= len(mems) || len(mems[w.Mem]) != w.Depth {
+			return nil, fmt.Errorf("rtlc: memory storage shape mismatch for mem %d", w.Mem)
+		}
+	}
+	v := &VM{
+		p:        p,
+		regs:     make([]uint64, p.RegsLen()),
+		mems:     mems,
+		dirty:    make([]uint64, p.SigWords),
+		memDirty: make([]uint64, p.MemWords),
+		allDirty: true,
+		inSnap:   make([]uint64, len(p.Inputs)),
+		next:     make([]uint64, len(p.Seqs)),
+		memwBuf:  make([]memWrite, 0, len(p.MemWs)),
+		memRun:   make([]bool, len(mems)),
+	}
+	copy(v.regs[p.NSig:], p.Consts)
+	return v, nil
+}
+
+// Vals returns the architectural signal slots of the register file.
+func (v *VM) Vals() []uint64 { return v.regs[:v.p.NSig] }
+
+// Eval settles the combinational logic: one straight-line bytecode pass in
+// levelised order. External Eval calls may observe transient input values
+// that are reverted before the next Tick (set/eval/set-back probing), so the
+// next Tick's leading settle can never be elided after one.
+func (v *VM) Eval() {
+	exec(v.p.Comb, v.regs, v.mems)
+	v.extEval = true
+}
+
+// Invalidate discards all activity-gating state; the next Tick evaluates
+// every sequential program.
+func (v *VM) Invalidate() { v.allDirty = true }
+
+// Skipped reports how many sequential next-state evaluations were elided.
+func (v *VM) Skipped() uint64 { return v.skipped }
+
+func (v *VM) markSig(s uint32) { v.dirty[s>>6] |= 1 << (s & 63) }
+
+func bitsetZero(ws []uint64) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *VM) coneDirty(cone, memCone []ConeWord) bool {
+	for _, cw := range cone {
+		if v.dirty[cw.Word]&cw.Mask != 0 {
+			return true
+		}
+	}
+	for _, cw := range memCone {
+		if v.memDirty[cw.Word]&cw.Mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances one clock cycle: settle combinational logic, capture every
+// register's next value and memory write with pre-edge state, commit, and
+// settle again — bit-exact against the closure engine's Tick, minus the
+// evaluations the dirty set proves redundant. Three further elisions ride on
+// the same dirty tracking:
+//
+//   - the leading settle is skipped when no root changed since the previous
+//     trailing settle (no input edge, no external Eval, not invalidated) —
+//     the combinational slots then provably still hold their fixed point;
+//   - a memory's write ports are skipped as a group when every port's input
+//     cone is clean — each port then recomputes last cycle's enable/address/
+//     data, whose committed write left the array word already equal to the
+//     data. Gating is all-or-nothing per memory so last-writer-wins ordering
+//     between ports is never reordered;
+//   - the trailing settle is skipped when no commit changed a value — the
+//     post-edge state equals the pre-edge state the leading settle (or its
+//     inherited fixed point) already covered.
+func (v *VM) Tick() {
+	// Externally driven inputs have no commit point, so detect changes by
+	// snapshot comparison. The marks feed this cycle's gating and are
+	// consumed (cleared) below.
+	inChanged := false
+	for i, id := range v.p.Inputs {
+		if nv := v.regs[id]; nv != v.inSnap[i] {
+			v.inSnap[i] = nv
+			v.markSig(uint32(id))
+			inChanged = true
+		}
+	}
+	// Globally quiet fast path: with no root dirty at all, every seq and
+	// write-port cone is clean, so the cycle reduces to "skip everything" —
+	// no captures, no commits, no settles (beyond honouring a pending
+	// external Eval). This is the steady state between event bursts.
+	if !v.allDirty && !inChanged && bitsetZero(v.dirty) && bitsetZero(v.memDirty) {
+		if v.extEval {
+			exec(v.p.Comb, v.regs, v.mems)
+			v.extEval = false
+		}
+		v.skipped += uint64(len(v.p.Seqs))
+		return
+	}
+
+	if v.allDirty || v.extEval || inChanged {
+		exec(v.p.Comb, v.regs, v.mems)
+	}
+	v.extEval = false
+
+	// Capture memory writes with pre-edge values, skipping every port of a
+	// memory whose ports' cones are all clean.
+	v.memwBuf = v.memwBuf[:0]
+	if len(v.p.MemWs) > 0 {
+		for i := range v.memRun {
+			v.memRun[i] = v.allDirty
+		}
+		if !v.allDirty {
+			for i := range v.p.MemWs {
+				w := &v.p.MemWs[i]
+				if !v.memRun[w.Mem] && v.coneDirty(w.Cone, w.MemCone) {
+					v.memRun[w.Mem] = true
+				}
+			}
+		}
+		for i := range v.p.MemWs {
+			w := &v.p.MemWs[i]
+			if !v.memRun[w.Mem] {
+				continue
+			}
+			exec(w.Code, v.regs, v.mems)
+			if v.regs[w.En] != 0 {
+				if addr := v.regs[w.Addr]; addr < uint64(w.Depth) {
+					v.memwBuf = append(v.memwBuf, memWrite{w.Mem, int(addr), v.regs[w.Data] & w.Mask})
+				}
+			}
+		}
+	}
+
+	// Capture register next-state, skipping programs whose input cones are
+	// clean: the register then provably recomputes its current value.
+	for j := range v.p.Seqs {
+		sq := &v.p.Seqs[j]
+		if v.allDirty || v.coneDirty(sq.Cone, sq.MemCone) {
+			exec(sq.Code, v.regs, v.mems)
+			v.next[j] = v.regs[sq.Out]
+		} else {
+			v.skipped++
+			v.next[j] = v.regs[sq.Dst]
+		}
+	}
+
+	// The marks above were consumed by this cycle's gating; marks set by
+	// the commits below feed the next cycle.
+	for i := range v.dirty {
+		v.dirty[i] = 0
+	}
+	for i := range v.memDirty {
+		v.memDirty[i] = 0
+	}
+	v.allDirty = false
+
+	// Commit, marking roots that actually changed value.
+	changed := false
+	for j := range v.p.Seqs {
+		dst := uint32(v.p.Seqs[j].Dst)
+		if v.regs[dst] != v.next[j] {
+			v.regs[dst] = v.next[j]
+			v.markSig(dst)
+			changed = true
+		}
+	}
+	for _, w := range v.memwBuf {
+		words := v.mems[w.mem]
+		if words[w.addr] != w.data {
+			words[w.addr] = w.data
+			v.memDirty[int(w.mem)>>6] |= 1 << (uint(w.mem) & 63)
+			changed = true
+		}
+	}
+	if changed {
+		exec(v.p.Comb, v.regs, v.mems)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
 	"gem5rtl/internal/trace"
@@ -193,6 +194,86 @@ func TestCheckpointRestoreEquivalenceCPU(t *testing.T) {
 		if a, b := cold.PMUWrapper.Counter(i), warm.PMUWrapper.Counter(i); a != b {
 			t.Errorf("PMU counter %d diverges: cold=%d warm=%d", i, a, b)
 		}
+	}
+}
+
+// cpuSystemEngine is cpuSystem with an explicit RTL engine.
+func cpuSystemEngine(t testing.TB, engine rtl.Engine) (*soc.System, *experiments.AXIHost) {
+	t.Helper()
+	cfg := soc.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Memory = "DDR4-1ch"
+	cfg.WithPMU = true
+	cfg.RTLEngine = engine
+	s := soc.MustBuild(cfg)
+	host := experiments.NewAXIHost(s.Queue)
+	port.Bind(host.Port(), s.PMU.CPUPort(0))
+	return s, host
+}
+
+// TestCheckpointCrossEngine checks that checkpoints are engine-portable: a
+// run saved under one RTL engine restores under the other and finishes with
+// the digest (final tick, event count, StateHash, full stats dump) of an
+// uninterrupted run — in both directions. This is what lets a sweep warm a
+// checkpoint prefix once and serve it to points running either engine.
+func TestCheckpointCrossEngine(t *testing.T) {
+	src := workload.SortBenchmark(workload.SortParams{N: 60, SleepUs: 20})
+	const limit = 100 * sim.Millisecond
+	setup := func(s *soc.System, host *experiments.AXIHost) {
+		s.PMU.Start()
+		host.Write(pmu.RegEnable, 0x3F)
+		if err := s.LoadProgram(0, src); err != nil {
+			t.Fatal(err)
+		}
+		s.Cores[0].OnExit = func(int64) { s.Queue.ExitSimLoop("program exit") }
+		s.StartCores(0)
+	}
+	for _, dir := range []struct {
+		name       string
+		save, load rtl.Engine
+	}{
+		{"closure-to-bytecode", rtl.EngineClosure, rtl.EngineBytecode},
+		{"bytecode-to-closure", rtl.EngineBytecode, rtl.EngineClosure},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			base := port.PacketIDMark() // see TestCheckpointRestoreEquivalenceNVDLA
+			cold, coldHost := cpuSystemEngine(t, dir.save)
+			setup(cold, coldHost)
+			cold.Queue.RunUntil(limit)
+			if exited, _ := cold.Cores[0].Exited(); !exited {
+				t.Fatal("reference program did not finish")
+			}
+			coldDigest := runDigest(t, cold)
+
+			port.SetPacketIDForTest(base)
+			split, splitHost := cpuSystemEngine(t, dir.save)
+			setup(split, splitHost)
+			split.Queue.RunUntil(cold.Queue.Now() / 2)
+			var snap bytes.Buffer
+			if err := split.Save(&snap); err != nil {
+				t.Fatal(err)
+			}
+
+			warm, _ := cpuSystemEngine(t, dir.load)
+			warm.Cores[0].OnExit = func(int64) { warm.Queue.ExitSimLoop("program exit") }
+			port.SetPacketIDForTest(base)
+			if _, err := warm.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatalf("cross-engine restore: %v", err)
+			}
+			warm.Queue.RunUntil(limit)
+			if exited, _ := warm.Cores[0].Exited(); !exited {
+				t.Fatal("restored program did not finish")
+			}
+			if got := runDigest(t, warm); got != coldDigest {
+				t.Errorf("cross-engine digest diverges:\n--- %s cold ---\n%s--- %s warm ---\n%s",
+					dir.save, coldDigest, dir.load, got)
+			}
+			for i := 0; i < pmu.NumCounters; i++ {
+				if a, b := cold.PMUWrapper.Counter(i), warm.PMUWrapper.Counter(i); a != b {
+					t.Errorf("PMU counter %d diverges: %s=%d %s=%d", i, dir.save, a, dir.load, b)
+				}
+			}
+		})
 	}
 }
 

@@ -34,8 +34,16 @@ func Elaborate(d *Design, top string, overrides map[string]int64) (*rtl.Circuit,
 }
 
 // Compile parses, elaborates and compiles VHDL source in one call — the
-// equivalent of the paper's GHDL flow producing a tickable model.
+// equivalent of the paper's GHDL flow producing a tickable model. It uses
+// the closure reference engine; use CompileEngine to select another.
 func Compile(src, top string, overrides map[string]int64) (*rtl.Model, error) {
+	return CompileEngine(src, top, overrides, rtl.EngineClosure)
+}
+
+// CompileEngine is Compile with an explicit simulation engine (see
+// rtl.Engines). Engine choice never changes results, only execution
+// strategy.
+func CompileEngine(src, top string, overrides map[string]int64, engine rtl.Engine) (*rtl.Model, error) {
 	d, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -44,7 +52,7 @@ func Compile(src, top string, overrides map[string]int64) (*rtl.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := rtl.Compile(c)
+	m, err := rtl.CompileEngine(c, engine)
 	if err != nil {
 		if strings.Contains(err.Error(), "combinational loop") {
 			return nil, fmt.Errorf("vhdl: %w (a combinational process may leave a target unassigned on some path — inferred latch)", err)
