@@ -18,7 +18,13 @@
 //	cancel         cancel a job (queued points are skipped)
 //	local          run a batch from stdin in-process and print results
 //	server-status  print server-wide status
+//	healthz        probe server health (exit 1 while draining/unhealthy)
+//	quarantine     list quarantined (poison) points and corrupt store files
+//	unquarantine   clear a point's quarantine record so it may simulate again
 //	drain          stop the server's intake and let the queue finish
+//
+// When the server sheds load (429) or is draining (503), the returned error
+// echoes the Retry-After hint so scripts know how long to back off.
 package main
 
 import (
@@ -60,6 +66,12 @@ func main() {
 		err = cmdLocal(args)
 	case "server-status":
 		err = cmdServer(args, http.MethodGet, "/v1/status", "server-status")
+	case "healthz":
+		err = cmdServer(args, http.MethodGet, "/v1/healthz", "healthz")
+	case "quarantine":
+		err = cmdServer(args, http.MethodGet, "/v1/quarantine", "quarantine")
+	case "unquarantine":
+		err = cmdUnquarantine(args)
 	case "drain":
 		err = cmdServer(args, http.MethodPost, "/v1/drain", "drain")
 	default:
@@ -72,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sweepctl {grid|submit|status|results|watch|cancel|local|server-status|drain} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sweepctl {grid|submit|status|results|watch|cancel|local|server-status|healthz|quarantine|unquarantine|drain} [flags]")
 	os.Exit(2)
 }
 
@@ -269,7 +281,34 @@ func printBody(url string) error {
 	return err
 }
 
-// httpError decodes the server's JSON error body into a CLI error.
+// cmdUnquarantine clears one point's quarantine record by fingerprint; the
+// next submission of the point simulates it with a fresh attempt budget.
+func cmdUnquarantine(args []string) error {
+	fs := flag.NewFlagSet("unquarantine", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "sweepd base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sweepctl unquarantine [-addr URL] <fingerprint>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, *addr+"/v1/quarantine/"+fs.Arg(0), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("unquarantine", resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// httpError decodes the server's JSON error body into a CLI error. A shed
+// (429) or draining (503) response carries a Retry-After hint, echoed so
+// scripts and humans know how long to back off before resubmitting.
 func httpError(what string, resp *http.Response) error {
 	var e struct {
 		Error string `json:"error"`
@@ -277,6 +316,9 @@ func httpError(what string, resp *http.Response) error {
 	_ = json.NewDecoder(resp.Body).Decode(&e)
 	if e.Error == "" {
 		e.Error = resp.Status
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		return fmt.Errorf("%s: %s (retry after %ss)", what, e.Error, ra)
 	}
 	return fmt.Errorf("%s: %s", what, e.Error)
 }

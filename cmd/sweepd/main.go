@@ -6,8 +6,15 @@
 //
 //	sweepd -addr :8080 -store-dir results/ -checkpoint-dir ckpts/ -checkpoint-at 2us
 //
+// The execution layer is fault tolerant: transient point failures (hangs,
+// blown -point-deadline budgets, worker panics) retry on a seeded backoff
+// schedule (-retry-max, -retry-base, -retry-seed); points that fail
+// permanently or exhaust their budget are quarantined in the store's poison/
+// directory and served as errors until un-quarantined; -max-queue sheds
+// submissions beyond the queue depth bound with HTTP 429.
+//
 // SIGINT/SIGTERM starts a graceful drain: the server stops accepting jobs,
-// finishes every queued point, then exits.
+// finishes every queued point (retry backoffs are skipped), then exits.
 package main
 
 import (
@@ -32,6 +39,11 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "shared warm-start checkpoint directory (requires -checkpoint-at)")
 	ckptAt := flag.Duration("checkpoint-at", 0, "warm-start: snapshot each point at this simulated time (0 = cold runs)")
 	quota := flag.Int("quota", 0, "max live (queued+running) points per client (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max waiting points (pending + retry-wait); excess submissions shed with 429 (0 = unbounded)")
+	retryMax := flag.Int("retry-max", 0, "total execution attempts per point before quarantine (0 = default 3, 1 disables retries)")
+	retryBase := flag.Duration("retry-base", 0, "first retry backoff, doubling per attempt (0 = default 100ms)")
+	retrySeed := flag.Uint64("retry-seed", 0, "seed for the deterministic retry jitter schedule")
+	pointDeadline := flag.Duration("point-deadline", 0, "wall-clock budget per execution attempt; a blown deadline retries the point (0 = none)")
 	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog to every point so hangs fail fast")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long a signal-triggered drain may run before abandoning the queue")
 	flag.Parse()
@@ -43,6 +55,13 @@ func main() {
 		Warmup:   sim.Tick(ckptAt.Nanoseconds()) * sim.Nanosecond,
 		Guard:    *watchdog,
 		Quota:    *quota,
+		MaxQueue: *maxQueue,
+		Retry: sweepd.RetryPolicy{
+			MaxAttempts: *retryMax,
+			BaseDelay:   *retryBase,
+			Seed:        *retrySeed,
+		},
+		PointDeadline: *pointDeadline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)

@@ -1,0 +1,37 @@
+package experiments
+
+import "errors"
+
+// PermanentError marks a Run failure that retrying cannot fix: an invalid
+// spec, an impossible SoC configuration, a workload trace that does not
+// build, a misconfigured tracer. It is the permanent half of the service's
+// transient-vs-permanent failure taxonomy — everything else a point can
+// return (a watchdog hang, a context deadline, a recovered panic, a fault
+// injected by the chaos harness) is presumed transient and worth retrying,
+// because re-executing against healthy workers or fresh state may succeed.
+type PermanentError struct {
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err as a PermanentError. A nil err stays nil, so call
+// sites can wrap unconditionally.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// IsPermanent reports whether err is (or wraps) a PermanentError — a failure
+// class no retry policy should spend attempts on.
+func IsPermanent(err error) bool {
+	var p *PermanentError
+	return errors.As(err, &p)
+}

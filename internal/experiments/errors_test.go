@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gem5rtl/internal/sim"
+)
+
+// TestPermanentErrorTaxonomy pins the transient-vs-permanent contract the
+// sweep service's retry policy is built on: wrapped errors classify as
+// permanent through arbitrary further wrapping, nil stays nil, and ordinary
+// errors stay transient.
+func TestPermanentErrorTaxonomy(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	base := errors.New("no such workload")
+	perm := Permanent(base)
+	if !IsPermanent(perm) {
+		t.Error("wrapped error not permanent")
+	}
+	if !IsPermanent(fmt.Errorf("spec[3]: %w", perm)) {
+		t.Error("permanence lost through fmt.Errorf wrapping")
+	}
+	if !errors.Is(perm, base) {
+		t.Error("Unwrap does not expose the underlying error")
+	}
+	if IsPermanent(base) || IsPermanent(context.DeadlineExceeded) {
+		t.Error("unwrapped errors must classify transient")
+	}
+}
+
+// TestRunClassifiesBuildFailuresPermanent runs a spec that cannot build (an
+// unknown workload trace) and expects the failure marked permanent — the
+// service must quarantine it immediately instead of burning retry attempts.
+func TestRunClassifiesBuildFailuresPermanent(t *testing.T) {
+	spec := RunSpec{Workload: "no-such-workload", NVDLAs: 1, Memory: "HBM",
+		Inflight: 16, Scale: 32, Limit: 8 * sim.Second}
+	_, err := Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("unknown workload ran successfully")
+	}
+	if !IsPermanent(err) {
+		t.Errorf("build failure not permanent: %v", err)
+	}
+	// A cancelled context is a scheduling artefact, never permanent.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testGridSpec()); !errors.Is(err, context.Canceled) || IsPermanent(err) {
+		t.Errorf("cancelled run misclassified: %v", err)
+	}
+}
+
+// testGridSpec is a small valid spec for classification tests.
+func testGridSpec() RunSpec {
+	return DSEParams{Scale: 64, Limit: 8 * sim.Second}.Spec("sanity3", 1, "DDR4-1ch", 16)
+}

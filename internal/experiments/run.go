@@ -129,11 +129,12 @@ func (o *runOpts) finish(s *soc.System) error {
 func runCold(ctx context.Context, spec RunSpec, o *runOpts) (sim.Tick, error) {
 	s, err := buildPoint(spec)
 	if err != nil {
-		return 0, err
+		// A point that cannot build will not build on a retry either.
+		return 0, Permanent(err)
 	}
 	wd, err := o.attach(s)
 	if err != nil {
-		return 0, err
+		return 0, Permanent(err)
 	}
 	done, err := s.RunUntilNVDLAsDoneCtx(ctx, spec.Limit)
 	obs.CountEvents(s.Queue.Dispatched())
@@ -162,11 +163,11 @@ func runWarm(ctx context.Context, spec RunSpec, o *runOpts) (sim.Tick, error) {
 	if blob, ok := o.cache.load(spec, o.warmup); ok {
 		s, err := soc.Build(specConfig(spec))
 		if err != nil {
-			return 0, err
+			return 0, Permanent(err)
 		}
 		if o.trace != nil {
 			if _, err := s.AttachTracer(*o.trace); err != nil {
-				return 0, err
+				return 0, Permanent(err)
 			}
 		}
 		if _, err := s.Restore(bytes.NewReader(blob)); err == nil {
@@ -190,16 +191,14 @@ func runWarm(ctx context.Context, spec RunSpec, o *runOpts) (sim.Tick, error) {
 		}
 		o.cache.countStale()
 		o.cache.drop(spec, o.warmup)
-	} else {
-		o.cache.countMiss()
 	}
 	s, err := buildPoint(spec)
 	if err != nil {
-		return 0, err
+		return 0, Permanent(err)
 	}
 	wd, err := o.attach(s)
 	if err != nil {
-		return 0, err
+		return 0, Permanent(err)
 	}
 	done, remaining, err := s.RunNVDLAPhase(ctx, o.warmup)
 	if err != nil {

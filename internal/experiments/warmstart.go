@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"os"
 	"path/filepath"
 	"sync"
@@ -58,23 +60,28 @@ type CheckpointCache struct {
 	// warm-start behaviour is visible in interval dumps and the sweep
 	// service's status endpoint. A formerly silent miss or stale-drop now
 	// always leaves a trace.
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	stale  atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stale   atomic.Uint64
+	corrupt atomic.Uint64
 }
 
 // CacheStats is a point-in-time view of warm-start cache effectiveness:
 // how many runs restored a snapshot (Hits), ran cold because none existed
-// (Misses), or dropped an unrestorable snapshot and fell back cold (Stale).
+// (Misses), dropped an unrestorable snapshot and fell back cold (Stale), or
+// rejected a persisted file whose integrity trailer did not verify — a torn
+// write, a flipped bit — and fell back cold (Corrupt).
 type CacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	Stale  uint64 `json:"stale"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stale   uint64 `json:"stale"`
+	Corrupt uint64 `json:"corrupt"`
 }
 
 // Stats samples the cache's effectiveness counters.
 func (c *CheckpointCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Stale: c.stale.Load()}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Stale: c.stale.Load(), Corrupt: c.corrupt.Load()}
 }
 
 // countHit records a snapshot restore, here and host-wide.
@@ -85,6 +92,10 @@ func (c *CheckpointCache) countMiss() { c.misses.Add(1); obs.CountCkptMiss() }
 
 // countStale records a dropped unrestorable snapshot.
 func (c *CheckpointCache) countStale() { c.stale.Add(1); obs.CountCkptStale() }
+
+// countCorrupt records a discarded persisted snapshot that failed its
+// integrity check.
+func (c *CheckpointCache) countCorrupt() { c.corrupt.Add(1); obs.CountCkptCorrupt() }
 
 // ckptKey identifies a warm-up prefix: the point's behaviour-affecting
 // fields plus the warm-up tick. Limit is zeroed — it only bounds the run and
@@ -126,8 +137,45 @@ func (c *CheckpointCache) fileName(k ckptKey) string {
 		k.spec.Scale, k.warmup))
 }
 
+// Persisted snapshot files carry a 12-byte integrity trailer: a CRC-64/ECMA
+// of the snapshot bytes followed by a magic. A file without a valid trailer
+// — a torn write the rename discipline could not prevent (power loss), a
+// flipped bit on disk, a file from before the trailer existed — is counted,
+// deleted and treated as a miss, so on-disk corruption always degrades to a
+// cold run instead of restoring a silently wrong machine. In-memory entries
+// never carry the trailer: they were produced by this process and are
+// trusted as-is.
+const ckptTrailerMagic = "gRCK"
+
+var ckptCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// sealSnapshot appends the integrity trailer to a snapshot for persistence.
+func sealSnapshot(blob []byte) []byte {
+	out := make([]byte, len(blob)+12)
+	copy(out, blob)
+	binary.LittleEndian.PutUint64(out[len(blob):], crc64.Checksum(blob, ckptCRCTable))
+	copy(out[len(blob)+8:], ckptTrailerMagic)
+	return out
+}
+
+// openSnapshot verifies and strips the integrity trailer of a persisted
+// snapshot file.
+func openSnapshot(data []byte) ([]byte, bool) {
+	if len(data) < 12 || string(data[len(data)-4:]) != ckptTrailerMagic {
+		return nil, false
+	}
+	blob := data[: len(data)-12 : len(data)-12]
+	if crc64.Checksum(blob, ckptCRCTable) != binary.LittleEndian.Uint64(data[len(data)-12:]) {
+		return nil, false
+	}
+	return blob, true
+}
+
 // load returns the snapshot for (spec, warmup), consulting memory first and
-// then the persistence directory.
+// then the persistence directory, counting the outcome (hit counting is the
+// caller's, after the restore succeeds). A persisted file that fails its
+// integrity check is counted corrupt, removed, and reported as a miss — the
+// point falls back to a cold run that rewrites it.
 func (c *CheckpointCache) load(spec RunSpec, warmup sim.Tick) ([]byte, bool) {
 	k := c.key(spec, warmup)
 	c.mu.Lock()
@@ -137,10 +185,18 @@ func (c *CheckpointCache) load(spec RunSpec, warmup sim.Tick) ([]byte, bool) {
 		return blob, true
 	}
 	if c.dir == "" {
+		c.countMiss()
 		return nil, false
 	}
-	blob, err := os.ReadFile(c.fileName(k))
+	data, err := os.ReadFile(c.fileName(k))
 	if err != nil {
+		c.countMiss()
+		return nil, false
+	}
+	blob, ok = openSnapshot(data)
+	if !ok {
+		c.countCorrupt()
+		os.Remove(c.fileName(k))
 		return nil, false
 	}
 	c.mu.Lock()
@@ -163,13 +219,15 @@ func (c *CheckpointCache) store(spec RunSpec, warmup sim.Tick, blob []byte) {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}
-	// Write-then-rename so concurrent workers never expose a torn file.
+	// Write-then-rename so concurrent workers never expose a torn file; the
+	// integrity trailer catches what the rename cannot (power loss, on-disk
+	// bit rot).
 	name := c.fileName(k)
 	tmp, err := os.CreateTemp(c.dir, ".ckpt-*")
 	if err != nil {
 		return
 	}
-	if _, err := tmp.Write(blob); err != nil {
+	if _, err := tmp.Write(sealSnapshot(blob)); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return

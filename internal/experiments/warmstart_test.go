@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"os"
 	"testing"
 
 	"gem5rtl/internal/sim"
@@ -116,5 +117,76 @@ func TestWarmStartStaleSnapshotFallsBack(t *testing.T) {
 	}
 	if got != cold {
 		t.Errorf("fallback run diverges: cold=%d got=%d", cold, got)
+	}
+}
+
+// TestWarmStartCorruptFileFallsBack flips one bit in a persisted snapshot
+// file and expects the integrity trailer to reject it: the run transparently
+// falls back cold with identical results, the corruption is counted, and the
+// poisoned file is removed so the next run can repopulate it.
+func TestWarmStartCorruptFileFallsBack(t *testing.T) {
+	spec := DSEParams{Scale: 64, Limit: 8 * sim.Second}.Spec("sanity3", 1, "DDR4-1ch", 64)
+	ctx := context.Background()
+	const warmup = 1 * sim.Microsecond
+	dir := t.TempDir()
+
+	cold, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := NewCheckpointCache(dir)
+	if _, err := Run(ctx, spec, WithWarmStart(warmup, first)); err != nil {
+		t.Fatal(err)
+	}
+	name := first.fileName(first.key(spec, warmup))
+	blob, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/3] ^= 0x10
+	if err := os.WriteFile(name, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewCheckpointCache(dir)
+	got, err := Run(ctx, spec, WithWarmStart(warmup, second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cold {
+		t.Errorf("corrupt-fallback run diverges: cold=%d got=%d", cold, got)
+	}
+	if st := second.Stats(); st.Corrupt != 1 || st.Hits != 0 {
+		t.Errorf("cache stats %+v, want exactly one corrupt rejection and no hits", st)
+	}
+	// The corrupt file is gone and the cold fallback re-persisted a good one.
+	reblob, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("fallback did not rewrite the snapshot: %v", err)
+	}
+	if _, ok := openSnapshot(reblob); !ok {
+		t.Error("rewritten snapshot fails its own integrity check")
+	}
+}
+
+// TestSnapshotTrailerRoundTrip pins the seal/open contract: a sealed blob
+// opens to the same bytes, and any single-bit flip anywhere in the sealed
+// form — payload, CRC, magic — is rejected.
+func TestSnapshotTrailerRoundTrip(t *testing.T) {
+	blob := []byte("warm-start snapshot payload bytes")
+	sealed := sealSnapshot(blob)
+	got, ok := openSnapshot(sealed)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("round trip failed: ok=%v got=%q", ok, got)
+	}
+	for bit := 0; bit < len(sealed)*8; bit += 7 {
+		mut := append([]byte(nil), sealed...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, ok := openSnapshot(mut); ok {
+			t.Fatalf("flip of bit %d went undetected", bit)
+		}
+	}
+	if _, ok := openSnapshot([]byte("short")); ok {
+		t.Error("trailer-less short input accepted")
 	}
 }

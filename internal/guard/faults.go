@@ -154,6 +154,20 @@ func DeriveSeed(seed uint64, i int) uint64 {
 	return r.Uint64()
 }
 
+// DeriveSeedString mixes a seed with a string key — a spec fingerprint, a
+// component name — into an independent stream seed. The derivation depends
+// only on (seed, key), never on host state, so schedules keyed by it (retry
+// backoff, chaos injections) are deterministic at any worker count. The key
+// bytes are folded FNV-style and finished through a splitmix64 step so
+// near-identical keys land in unrelated streams.
+func DeriveSeedString(seed uint64, key string) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 0x100000001b3
+	}
+	return NewRNG(h).Uint64()
+}
+
 // PacketFaultTap implements port.LinkTap for the packet fault kinds: it
 // counts matching packets per direction and fires the configured fault on
 // the PktIndex-th one. A tap whose index exceeds the link's actual traffic

@@ -214,3 +214,25 @@ func TestHangDiagnosticIncludesTraceTail(t *testing.T) {
 		t.Fatalf("diagnostic missing trace tail:\n%s", hang.Diagnostic)
 	}
 }
+
+// DeriveSeedString must be a pure function of (seed, key): identical inputs
+// reproduce, and nearby inputs (one character, one seed bit apart) land in
+// unrelated streams — the property retry schedules and chaos campaigns rely
+// on for worker-count independence.
+func TestDeriveSeedStringDeterministicAndIndependent(t *testing.T) {
+	const fp = "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"
+	a := DeriveSeedString(42, fp)
+	if b := DeriveSeedString(42, fp); a != b {
+		t.Fatalf("same inputs, different seeds: %#x vs %#x", a, b)
+	}
+	variants := []uint64{
+		DeriveSeedString(43, fp),
+		DeriveSeedString(42, fp[:len(fp)-1]+"9"),
+		DeriveSeedString(42, ""),
+	}
+	for i, v := range variants {
+		if v == a {
+			t.Errorf("variant %d collides with the base seed %#x", i, a)
+		}
+	}
+}

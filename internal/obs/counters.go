@@ -12,9 +12,10 @@ import (
 // HostMonitor JSONL stream, interval dumps over a registry built with
 // RegisterHostStats, and the sweep service's status endpoint.
 var (
-	ckptHits   atomic.Uint64
-	ckptMisses atomic.Uint64
-	ckptStale  atomic.Uint64
+	ckptHits    atomic.Uint64
+	ckptMisses  atomic.Uint64
+	ckptStale   atomic.Uint64
+	ckptCorrupt atomic.Uint64
 )
 
 // CountCkptHit records one warm-start snapshot restore.
@@ -26,9 +27,13 @@ func CountCkptMiss() { ckptMisses.Add(1) }
 // CountCkptStale records one dropped unrestorable snapshot.
 func CountCkptStale() { ckptStale.Add(1) }
 
+// CountCkptCorrupt records one persisted snapshot rejected by its integrity
+// trailer (torn write, bit rot) and degraded to a cold run.
+func CountCkptCorrupt() { ckptCorrupt.Add(1) }
+
 // CkptCacheCounts returns the host-wide warm-start cache counters.
-func CkptCacheCounts() (hits, misses, stale uint64) {
-	return ckptHits.Load(), ckptMisses.Load(), ckptStale.Load()
+func CkptCacheCounts() (hits, misses, stale, corrupt uint64) {
+	return ckptHits.Load(), ckptMisses.Load(), ckptStale.Load(), ckptCorrupt.Load()
 }
 
 // RegisterHostStats registers the host-wide observability counters —
@@ -39,9 +44,11 @@ func RegisterHostStats(reg *stats.Registry) {
 	reg.Register("host.events", "simulator events dispatched host-wide",
 		func() float64 { return float64(HostEvents()) })
 	reg.Register("host.ckpt.hits", "warm-start snapshots restored",
-		func() float64 { h, _, _ := CkptCacheCounts(); return float64(h) })
+		func() float64 { h, _, _, _ := CkptCacheCounts(); return float64(h) })
 	reg.Register("host.ckpt.misses", "cold runs with no warm-start snapshot",
-		func() float64 { _, m, _ := CkptCacheCounts(); return float64(m) })
+		func() float64 { _, m, _, _ := CkptCacheCounts(); return float64(m) })
 	reg.Register("host.ckpt.stale", "unrestorable warm-start snapshots dropped",
-		func() float64 { _, _, s := CkptCacheCounts(); return float64(s) })
+		func() float64 { _, _, s, _ := CkptCacheCounts(); return float64(s) })
+	reg.Register("host.ckpt.corrupt", "corrupt warm-start snapshots rejected",
+		func() float64 { _, _, _, c := CkptCacheCounts(); return float64(c) })
 }

@@ -16,22 +16,24 @@ import (
 // visible via CkptCacheCounts and through a registry built with
 // RegisterHostStats.
 func TestCkptCountersAndHostStats(t *testing.T) {
-	h0, m0, s0 := CkptCacheCounts()
+	h0, m0, s0, c0 := CkptCacheCounts()
 	CountCkptHit()
 	CountCkptHit()
 	CountCkptMiss()
 	CountCkptStale()
-	h, m, s := CkptCacheCounts()
-	if h != h0+2 || m != m0+1 || s != s0+1 {
-		t.Errorf("counters moved to (%d,%d,%d) from (%d,%d,%d), want +2/+1/+1", h, m, s, h0, m0, s0)
+	CountCkptCorrupt()
+	h, m, s, c := CkptCacheCounts()
+	if h != h0+2 || m != m0+1 || s != s0+1 || c != c0+1 {
+		t.Errorf("counters moved to (%d,%d,%d,%d) from (%d,%d,%d,%d), want +2/+1/+1/+1", h, m, s, c, h0, m0, s0, c0)
 	}
 
 	reg := stats.NewRegistry()
 	RegisterHostStats(reg)
 	for name, want := range map[string]float64{
-		"host.ckpt.hits":   float64(h),
-		"host.ckpt.misses": float64(m),
-		"host.ckpt.stale":  float64(s),
+		"host.ckpt.hits":    float64(h),
+		"host.ckpt.misses":  float64(m),
+		"host.ckpt.stale":   float64(s),
+		"host.ckpt.corrupt": float64(c),
 	} {
 		got, ok := reg.Get(name)
 		if !ok || got != want {

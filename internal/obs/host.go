@@ -71,6 +71,7 @@ type hostSample struct {
 	CkptHits     uint64  `json:"ckpt_hits"`
 	CkptMisses   uint64  `json:"ckpt_misses"`
 	CkptStale    uint64  `json:"ckpt_stale"`
+	CkptCorrupt  uint64  `json:"ckpt_corrupt"`
 }
 
 // Start launches the sampling goroutine. Safe to call once.
@@ -134,7 +135,7 @@ func (m *HostMonitor) emit() {
 	if dt > 0 {
 		eps = float64(ev-m.lastEv) / dt
 	}
-	hits, misses, stale := CkptCacheCounts()
+	hits, misses, stale, corrupt := CkptCacheCounts()
 	s := hostSample{
 		WallMs:       now.Sub(m.started).Milliseconds(),
 		Goroutines:   runtime.NumGoroutine(),
@@ -144,6 +145,7 @@ func (m *HostMonitor) emit() {
 		CkptHits:     hits,
 		CkptMisses:   misses,
 		CkptStale:    stale,
+		CkptCorrupt:  corrupt,
 	}
 	if b, err := json.Marshal(s); err == nil {
 		fmt.Fprintf(m.W, "%s\n", b)

@@ -1,0 +1,299 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+// soakSpecs is the chaos batch: 12 technology points over 4 memories, which
+// drag in 3 hidden ideal baselines (inflight varies, ideal dedups per shape).
+func soakSpecs() []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, inflight := range []int{1, 16, 64} {
+		for _, mem := range []string{"DDR4-1ch", "DDR4-4ch", "HBM", "GDDR5"} {
+			specs = append(specs, testSpec(mem, inflight))
+		}
+	}
+	return specs
+}
+
+// soakChaos is the fault mix the soak runs under: every fault class enabled,
+// hot enough that most points fail at least once.
+func soakChaos(seed uint64, storeDir string) *Chaos {
+	return &Chaos{
+		Seed: seed, PanicProb: 0.2, HangProb: 0.15, ErrProb: 0.25,
+		TornWriteProb: 0.1, HangMax: 2 * time.Millisecond, StoreDir: storeDir,
+	}
+}
+
+// runSoak drives one chaos soak: the batch submitted as three overlapping
+// jobs from different clients, every job awaited. It returns the server, its
+// chaos wrapper, and the sorted fingerprint partition (stored, poisoned).
+func runSoak(t *testing.T, workers int, seed uint64, storeDir string) (*Server, *Chaos, []string, []string) {
+	t.Helper()
+	c := soakChaos(seed, storeDir)
+	s, err := New(Config{
+		Workers: workers, StoreDir: storeDir,
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: seed},
+		Chaos: c,
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			return fakeTicks(spec), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	specs := soakSpecs()
+	batches := [][]experiments.RunSpec{specs[:8], specs[4:], specs} // overlapping
+	jobs := make([]*job, len(batches))
+	for i, b := range batches {
+		j, err := s.sched.submit(s.store, SubmitRequest{Client: fmt.Sprintf("client-%d", i), Specs: b}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+
+	// Invariant: every submitted point reached exactly one terminal state —
+	// it is either stored (simulated successfully, exactly once) or poisoned
+	// (quarantined), never both, never neither, never still live.
+	var stored, poisoned []string
+	for _, spec := range specs {
+		for _, sp := range []experiments.RunSpec{spec, spec.Baseline()} {
+			fp := sp.Fingerprint()
+			_, inStore := s.store.Get(fp)
+			_, inPoison := s.poison.Get(fp)
+			if inStore == inPoison {
+				t.Errorf("point %s: stored=%v poisoned=%v, want exactly one terminal state", fp[:8], inStore, inPoison)
+			}
+			if inStore {
+				stored = append(stored, fp)
+			} else {
+				poisoned = append(poisoned, fp)
+			}
+		}
+	}
+	sort.Strings(stored)
+	sort.Strings(poisoned)
+	stored = dedupSorted(stored)
+	poisoned = dedupSorted(poisoned)
+
+	// Invariant: the attempt budget bounds executions of every point.
+	c.mu.Lock()
+	for fp, att := range c.attempts {
+		if att > 3 {
+			t.Errorf("point %s executed %d times, budget is 3", fp[:8], att)
+		}
+	}
+	c.mu.Unlock()
+
+	// Invariant: every job's results are complete, each point settled as a
+	// value or an error.
+	for _, j := range jobs {
+		results, ok := s.sched.results(j)
+		if !ok || len(results) != len(j.specs) {
+			t.Fatalf("job %s: results ok=%v len=%d, want %d", j.id, ok, len(results), len(j.specs))
+		}
+		for i, r := range results {
+			value := r.Err == "" && r.Ticks > 0
+			failure := r.Err != "" && r.Ticks == 0
+			if value == failure {
+				t.Errorf("job %s result[%d] = %+v: neither a clean value nor a clean failure", j.id, i, r)
+			}
+		}
+	}
+	if c.Injected() == 0 {
+		t.Error("chaos injected nothing; the soak proved nothing")
+	}
+	return s, c, stored, poisoned
+}
+
+func dedupSorted(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestChaosSoakInvariants is the seeded chaos soak: panics, hangs, transient
+// failures and torn store writes injected against the full retry/quarantine
+// machinery, with the no-point-lost/no-double-charge invariants checked after
+// the dust settles — and the terminal partition reproduced exactly by a
+// second server with eight times the workers, proving the fault script and
+// retry schedule are worker-count independent.
+func TestChaosSoakInvariants(t *testing.T) {
+	const seed = 0xdecaf
+	s1, c1, stored1, poisoned1 := runSoak(t, 1, seed, t.TempDir())
+	defer s1.Close()
+
+	// Double-charge check: resubmitting the whole batch touches no worker —
+	// stored points serve from the store, poisoned points serve their
+	// quarantine error.
+	sumAttempts := func() int {
+		c1.mu.Lock()
+		defer c1.mu.Unlock()
+		total := 0
+		for _, att := range c1.attempts {
+			total += att
+		}
+		return total
+	}
+	attemptsBefore := sumAttempts()
+	j, err := s1.sched.submit(s1.store, SubmitRequest{Client: "replay", Specs: soakSpecs()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if after := sumAttempts(); after != attemptsBefore {
+		t.Errorf("replay double-charged %d executions on already-settled points", after-attemptsBefore)
+	}
+	results, _ := s1.sched.results(j)
+	for _, r := range results {
+		if r.Err != "" && !strings.Contains(r.Err, "quarantined") {
+			t.Errorf("replay error %q is not a served quarantine record", r.Err)
+		}
+	}
+
+	s8, _, stored8, poisoned8 := runSoak(t, 8, seed, t.TempDir())
+	defer s8.Close()
+	if !equalStrings(stored1, stored8) || !equalStrings(poisoned1, poisoned8) {
+		t.Errorf("terminal partition differs across worker counts:\n1 worker:  %d stored / %d poisoned\n8 workers: %d stored / %d poisoned",
+			len(stored1), len(poisoned1), len(stored8), len(poisoned8))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSoakRestartHealsTornWrites closes the loop on storage chaos: the
+// soak's torn writes silently corrupt committed result files, a restarted
+// server's boot scan quarantines exactly the damage, and — after the poison
+// records are cleared — a healthy resubmission re-simulates what was lost
+// and ends with every point clean. No file the chaos tore is ever served.
+func TestChaosSoakRestartHealsTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, stored, _ := runSoak(t, 4, 0xc0ffee, dir)
+	s1.Close()
+
+	s2, err := New(Config{Workers: 4, StoreDir: dir,
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			return fakeTicks(spec), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Start()
+
+	// The boot scan accounts for every previously stored point: loaded
+	// intact or quarantined as corrupt, nothing silently dropped.
+	if got := s2.store.Len() + s2.store.Quarantined(); got < len(stored) {
+		t.Errorf("restart accounts for %d of %d stored results (len=%d quarantined=%d)",
+			got, len(stored), s2.store.Len(), s2.store.Quarantined())
+	}
+	// Every surviving entry passed the integrity gate: its spec hashes to
+	// its fingerprint and its ticks match the deterministic executor.
+	for _, fp := range stored {
+		if e, ok := s2.store.Get(fp); ok {
+			if e.Spec.Fingerprint() != fp || e.Ticks != fakeTicks(e.Spec) {
+				t.Errorf("restart loaded a corrupt entry for %s: %+v", fp[:8], e)
+			}
+		}
+	}
+
+	// Heal: clear the poison, resubmit everything against a now-healthy
+	// executor. Torn entries re-simulate, quarantined points get their fresh
+	// attempt budget, and the batch converges to all-clean.
+	for _, rec := range s2.poison.List() {
+		s2.poison.Remove(rec.Fingerprint)
+	}
+	j, err := s2.sched.submit(s2.store, SubmitRequest{Client: "heal", Specs: soakSpecs()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	results, _ := s2.sched.results(j)
+	for i, r := range results {
+		if r.Err != "" || r.Perf != 0.5 {
+			t.Errorf("healed result[%d] = %+v, want clean perf=0.5", i, r)
+		}
+	}
+}
+
+// TestChaosRealExecutorSmoke runs chaos over the real experiments.Run
+// executor: injected panics and transient failures retry into real
+// simulations, and every stored result matches a clean re-run of the same
+// spec — the chaos layer can delay or quarantine a point but never corrupt
+// a value that gets served.
+func TestChaosRealExecutorSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations are not -short friendly")
+	}
+	specs := []experiments.RunSpec{
+		testSpec("HBM", 16), testSpec("DDR4-1ch", 16),
+		testSpec("HBM", 64), testSpec("DDR4-1ch", 64),
+	}
+	s, err := New(Config{
+		Workers: 4, StoreDir: t.TempDir(),
+		Retry: RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 11},
+		Chaos: &Chaos{Seed: 11, PanicProb: 0.2, ErrProb: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+
+	j, err := s.sched.submit(s.store, SubmitRequest{Specs: specs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	for _, spec := range specs {
+		for _, sp := range []experiments.RunSpec{spec, spec.Baseline()} {
+			fp := sp.Fingerprint()
+			e, inStore := s.store.Get(fp)
+			_, inPoison := s.poison.Get(fp)
+			if inStore == inPoison {
+				t.Errorf("real point %s: stored=%v poisoned=%v, want exactly one", fp[:8], inStore, inPoison)
+			}
+			if !inStore {
+				continue
+			}
+			want, err := experiments.Run(context.Background(), sp)
+			if err != nil {
+				t.Fatalf("clean re-run of %v: %v", sp, err)
+			}
+			if e.Ticks != want {
+				t.Errorf("stored ticks for %s = %d, clean run = %d: chaos corrupted a served value",
+					fp[:8], e.Ticks, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+// fastRetry keeps retry-path tests quick without disabling the backoff.
+func fastRetry(seed uint64) RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: seed}
+}
+
+// flakyRun fails the first failures attempts of every fingerprint with a
+// transient error, then succeeds, counting executions per fingerprint.
+func flakyRun(failures int, counts *sync.Map) func(context.Context, experiments.RunSpec) (sim.Tick, error) {
+	return func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+		fp := spec.Fingerprint()
+		v, _ := counts.LoadOrStore(fp, new(atomic.Int64))
+		n := v.(*atomic.Int64).Add(1)
+		if int(n) <= failures {
+			return 0, fmt.Errorf("transient failure %d for %s", n, fp[:8])
+		}
+		return fakeTicks(spec), nil
+	}
+}
+
+// TestRetryDelayDeterministicAndBounded pins the backoff schedule's contract:
+// a pure function of (seed, fingerprint, attempt) inside the equal-jitter
+// envelope, doubling per attempt up to the cap, independent of call order or
+// concurrency.
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 1 * time.Second, Seed: 99}
+	fp := testSpec("HBM", 16).Fingerprint()
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := p.Delay(fp, attempt)
+		env := p.BaseDelay << (attempt - 1)
+		if env > p.MaxDelay {
+			env = p.MaxDelay
+		}
+		if d < env/2 || d > env {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, env/2, env)
+		}
+		if again := p.Delay(fp, attempt); again != d {
+			t.Errorf("attempt %d: Delay is not a pure function: %v then %v", attempt, d, again)
+		}
+	}
+	// Different points draw from independent jitter streams.
+	other := testSpec("GDDR5", 64).Fingerprint()
+	same := 0
+	for attempt := 1; attempt <= 6; attempt++ {
+		if p.Delay(fp, attempt) == p.Delay(other, attempt) {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Error("two distinct fingerprints share the entire jitter schedule")
+	}
+}
+
+// TestRetryScheduleIndependentOfWorkerCount is the determinism acceptance
+// test: the same seed produces the same per-point retry schedule and the same
+// results whether the pool runs one worker or eight.
+func TestRetryScheduleIndependentOfWorkerCount(t *testing.T) {
+	specs := []experiments.RunSpec{testSpec("HBM", 16), testSpec("DDR4-1ch", 16), testSpec("GDDR5", 64)}
+	const seed = 1234
+
+	type outcome struct {
+		results  []byte
+		attempts map[string]int64
+		retries  uint64
+	}
+	runAt := func(workers int) outcome {
+		var counts sync.Map
+		s, err := New(Config{Workers: workers, Retry: fastRetry(seed), RunPoint: flakyRun(2, &counts)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.Start()
+		j, err := s.sched.submit(s.store, SubmitRequest{Specs: specs}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		res, _ := s.sched.results(j)
+		o := outcome{results: EncodeResults(res), attempts: map[string]int64{}, retries: s.sched.counts().retries}
+		counts.Range(func(k, v any) bool {
+			o.attempts[k.(string)] = v.(*atomic.Int64).Load()
+			return true
+		})
+		return o
+	}
+
+	one, eight := runAt(1), runAt(8)
+	if !bytes.Equal(one.results, eight.results) {
+		t.Errorf("results differ across worker counts:\n1: %s\n8: %s", one.results, eight.results)
+	}
+	for fp, n := range one.attempts {
+		if eight.attempts[fp] != n {
+			t.Errorf("point %s: %d attempts at 1 worker, %d at 8", fp[:8], n, eight.attempts[fp])
+		}
+		if n != 3 {
+			t.Errorf("point %s took %d attempts, want 3 (2 failures + success)", fp[:8], n)
+		}
+	}
+	if one.retries != eight.retries {
+		t.Errorf("scheduled %d retries at 1 worker, %d at 8", one.retries, eight.retries)
+	}
+	// The schedule itself is reproducible offline from the seed alone.
+	p := fastRetry(seed)
+	for fp := range one.attempts {
+		for att := 1; att <= 2; att++ {
+			if p.Delay(fp, att) != fastRetry(seed).Delay(fp, att) {
+				t.Fatalf("offline schedule recomputation diverged for %s attempt %d", fp[:8], att)
+			}
+		}
+	}
+}
+
+// TestPermanentFailureQuarantinesImmediately: an error wrapped with
+// experiments.Permanent burns exactly one attempt, lands in the poison store
+// with class "permanent", and later submissions are served the quarantine
+// error without executing anything.
+func TestPermanentFailureQuarantinesImmediately(t *testing.T) {
+	var runs atomic.Int64
+	bad := testSpec("HBM", 16)
+	s, err := New(Config{Workers: 2, Retry: fastRetry(1),
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			runs.Add(1)
+			if !spec.IsIdeal() {
+				return 0, experiments.Permanent(fmt.Errorf("this netlist will never build"))
+			}
+			return fakeTicks(spec), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+
+	j, err := s.sched.submit(s.store, SubmitRequest{Specs: []experiments.RunSpec{bad}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if got := runs.Load(); got != 2 {
+		t.Errorf("executed %d attempts, want 2 (1 permanent point + 1 baseline), no retries", got)
+	}
+	rec, ok := s.poison.Get(bad.Fingerprint())
+	if !ok || rec.Class != "permanent" || rec.Attempts != 1 {
+		t.Fatalf("poison record = %+v ok=%v, want class=permanent attempts=1", rec, ok)
+	}
+	results, _ := s.sched.results(j)
+	if results[0].Err == "" || !strings.Contains(results[0].Err, "never build") {
+		t.Errorf("result error %q does not carry the root cause", results[0].Err)
+	}
+
+	// Resubmission: served from quarantine, zero executions.
+	before := runs.Load()
+	j2, err := s.sched.submit(s.store, SubmitRequest{Specs: []experiments.RunSpec{bad}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	if runs.Load() != before {
+		t.Errorf("quarantined point re-executed %d times", runs.Load()-before)
+	}
+	r2, _ := s.sched.results(j2)
+	if !strings.Contains(r2[0].Err, "quarantined") {
+		t.Errorf("resubmission error %q does not mention quarantine", r2[0].Err)
+	}
+}
+
+// TestQuarantineSurvivesRestartAndUnquarantine walks the full poison
+// lifecycle over HTTP: exhaust the retry budget, restart the server against
+// the same store, observe the record survived, un-quarantine through the API,
+// and watch the point simulate successfully on the next submission.
+func TestQuarantineSurvivesRestartAndUnquarantine(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("DDR4-4ch", 16)
+	var healed atomic.Bool
+	run := func(ctx context.Context, sp experiments.RunSpec) (sim.Tick, error) {
+		if !sp.IsIdeal() && !healed.Load() {
+			return 0, fmt.Errorf("transient wobble")
+		}
+		return fakeTicks(sp), nil
+	}
+
+	s1, err := New(Config{Workers: 1, StoreDir: dir, Retry: fastRetry(7), RunPoint: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	j, err := s1.sched.submit(s1.store, SubmitRequest{Specs: []experiments.RunSpec{spec}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if rec, ok := s1.poison.Get(spec.Fingerprint()); !ok || rec.Class != "retries-exhausted" || rec.Attempts != 3 || len(rec.Errors) != 3 {
+		t.Fatalf("poison record = %+v ok=%v, want retries-exhausted after 3 attempts with 3 errors", rec, ok)
+	}
+	s1.Close()
+
+	s2, err := New(Config{Workers: 1, StoreDir: dir, Retry: fastRetry(7), RunPoint: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Start()
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+
+	// The record survived the restart and is listed.
+	resp, err := http.Get(ts.URL + "/v1/quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list QuarantineList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Points) != 1 || list.Points[0].Fingerprint != spec.Fingerprint() {
+		t.Fatalf("quarantine list after restart = %+v, want the poisoned point", list)
+	}
+
+	// Un-quarantine over HTTP; the infrastructure issue is "fixed".
+	healed.Store(true)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/quarantine/"+spec.Fingerprint(), nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("unquarantine: %v %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double unquarantine: %v status %d, want 404", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	body, _ := json.Marshal(SubmitRequest{Specs: []experiments.RunSpec{spec}})
+	id := submitAndWait(t, ts, string(body))
+	var results []PointResult
+	if err := json.Unmarshal(getResults(t, ts, id), &results); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != "" || results[0].Perf != 0.5 {
+		t.Errorf("un-quarantined point result = %+v, want a clean perf=0.5", results[0])
+	}
+}
+
+// TestPointDeadlineEvictsHungPoint: a worker stuck on a point that ignores
+// simulated time is evicted by the per-point context deadline, retried, and
+// finally quarantined — the job ends instead of wedging forever.
+func TestPointDeadlineEvictsHungPoint(t *testing.T) {
+	s, err := New(Config{Workers: 1, Retry: fastRetry(3), PointDeadline: 20 * time.Millisecond,
+		RunPoint: func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+			if spec.IsIdeal() {
+				return fakeTicks(spec), nil
+			}
+			<-ctx.Done() // a host-level hang: only the deadline can free the worker
+			return 0, ctx.Err()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+
+	spec := testSpec("HBM", 240)
+	j, err := s.sched.submit(s.store, SubmitRequest{Specs: []experiments.RunSpec{spec}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	rec, ok := s.poison.Get(spec.Fingerprint())
+	if !ok || rec.Attempts != 3 {
+		t.Fatalf("hung point poison record = %+v ok=%v, want quarantine after 3 deadline evictions", rec, ok)
+	}
+	for _, e := range rec.Errors {
+		if !strings.Contains(e, "deadline") {
+			t.Errorf("attempt error %q does not carry the deadline cause", e)
+		}
+	}
+}
+
+// TestQueueFullShedsLoad: with a bounded queue, a submission that would push
+// past the depth bound is rejected with 429 and a Retry-After hint, while
+// joining already-queued points stays free.
+func TestQueueFullShedsLoad(t *testing.T) {
+	// Workers not started: every accepted point stays queued.
+	s, err := New(Config{Workers: 1, MaxQueue: 3, RunPoint: countingRun(new(atomic.Int64))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(spec experiments.RunSpec) *http.Response {
+		body, _ := json.Marshal(SubmitRequest{Specs: []experiments.RunSpec{spec}})
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// 1 tech + 1 baseline = 2 queued of 3.
+	if resp := post(testSpec("HBM", 16)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	// 2 more fresh points would make 4 > 3: shed with 429 + Retry-After.
+	resp := post(testSpec("GDDR5", 64))
+	var e errorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: status %d, want 429 (%s)", resp.StatusCode, e.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response lacks a Retry-After hint")
+	}
+	if !strings.Contains(e.Error, "queue full") {
+		t.Errorf("shed error %q does not say the queue is full", e.Error)
+	}
+	// Joining the already-queued points is free even at the bound.
+	if resp := post(testSpec("HBM", 16)); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("join submit: status %d, want 202 (joining is free)", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestQuotaRejectsWith429AndRetryAfter pins the quota path's HTTP mapping.
+func TestQuotaRejectsWith429AndRetryAfter(t *testing.T) {
+	s, err := New(Config{Workers: 1, Quota: 2, RunPoint: countingRun(new(atomic.Int64))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SubmitRequest{Client: "alice", Specs: []experiments.RunSpec{testSpec("HBM", 16)}})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("within-quota submit: status %d", resp.StatusCode)
+	}
+	body, _ = json.Marshal(SubmitRequest{Client: "alice", Specs: []experiments.RunSpec{testSpec("GDDR5", 64)}})
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("over-quota submit: status %d retry-after %q, want 429 with hint (%s)",
+			resp.StatusCode, resp.Header.Get("Retry-After"), e.Error)
+	}
+}
+
+// TestHealthzReflectsServerState: healthz answers 200 with live workers and
+// queue depth while serving, and flips to 503 once draining.
+func TestHealthzReflectsServerState(t *testing.T) {
+	s, err := New(Config{Workers: 2, RunPoint: countingRun(new(atomic.Int64))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() (int, HealthStatus) {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	// Workers not launched yet: not ready.
+	if code, h := get(); code != http.StatusServiceUnavailable || h.OK {
+		t.Errorf("pre-start healthz: %d %+v, want 503 not-ok", code, h)
+	}
+	s.Start()
+	if code, h := get(); code != http.StatusOK || !h.OK || h.WorkersLive != 2 {
+		t.Errorf("healthz: %d %+v, want 200 ok with 2 live workers", code, h)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/drain", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if code, h := get(); code != http.StatusServiceUnavailable || h.OK || !h.Draining {
+		t.Errorf("draining healthz: %d %+v, want 503 draining", code, h)
+	}
+}
+
+// TestDrainFlushesRetryBackoffs: a drain must not wait out pending backoff
+// timers — retry-waiting points flush straight back onto the heap and settle.
+func TestDrainFlushesRetryBackoffs(t *testing.T) {
+	var counts sync.Map
+	s, err := New(Config{Workers: 1,
+		Retry:    RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour, Seed: 5},
+		RunPoint: flakyRun(1, &counts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	j, err := s.sched.submit(s.store, SubmitRequest{Specs: []experiments.RunSpec{testSpec("HBM", 16)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the failed first attempts park both points in retry-wait.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sched.counts().delayed < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("points never reached retry-wait: %+v", s.sched.counts())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain blocked on hour-long backoffs: %v", err)
+	}
+	waitDone(t, j)
+	results, _ := s.sched.results(j)
+	if results[0].Err != "" || results[0].Perf != 0.5 {
+		t.Errorf("drained retry result = %+v, want the retried success", results[0])
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gem5rtl/internal/experiments"
@@ -17,13 +20,15 @@ import (
 )
 
 // Config tunes a sweep server. The zero value is a usable in-memory server
-// with runtime.NumCPU() workers and no warm start.
+// with runtime.NumCPU() workers, default retries and no warm start.
 type Config struct {
 	// Workers is the simulation worker pool size; <= 0 means
 	// runtime.NumCPU().
 	Workers int
 	// StoreDir persists results as <fingerprint>.json files; "" keeps the
-	// store in memory only (it then dies with the process).
+	// store in memory only (it then dies with the process). Quarantined
+	// poison records live in its poison/ subdirectory, corrupt files moved
+	// aside by the boot scan in quarantine/.
 	StoreDir string
 	// CkptDir is the shared warm-start checkpoint directory; with Warmup > 0
 	// every worker populates and restores snapshots from it, so shards warm
@@ -40,10 +45,24 @@ type Config struct {
 	// 0 = unlimited. Joining an in-flight point or reading the store is
 	// always free — the quota prices new simulation work only.
 	Quota int
+	// MaxQueue bounds the waiting queue (pending + retry-wait points); a
+	// submission that would push past it is shed with HTTP 429. 0 = unbounded.
+	MaxQueue int
+	// Retry tunes the transient-failure retry loop; the zero value selects
+	// the RetryPolicy defaults (3 attempts, 100ms..5s seeded backoff).
+	Retry RetryPolicy
+	// PointDeadline bounds one execution attempt of one point with a context
+	// timeout (layered under the simulated-time watchdog, which cannot fire
+	// if the host itself stalls). A blown deadline is a transient failure:
+	// the point is evicted back to the retry loop. 0 = no deadline.
+	PointDeadline time.Duration
 	// RunPoint overrides the per-point executor; nil means experiments.Run
 	// with the options implied by Warmup/CkptDir/Guard. Tests use it to
 	// count executions and inject failures.
 	RunPoint func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error)
+	// Chaos, when non-nil, wraps the composed executor (including a custom
+	// RunPoint) with seeded fault injection. Soak tests only.
+	Chaos *Chaos
 	// StreamPeriod is the progress stream's record period (0 = 1s). The e2e
 	// tests shorten it so streams produce records quickly.
 	StreamPeriod time.Duration
@@ -54,32 +73,46 @@ type Config struct {
 // Start to launch the workers, and stop with Drain (finish the queue) or
 // Close (abandon it).
 type Server struct {
-	cfg   Config
-	store *Store
-	sched *scheduler
-	run   func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error)
-	reg   *stats.Registry
+	cfg    Config
+	store  *Store
+	poison *PoisonStore
+	sched  *scheduler
+	run    func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error)
+	reg    *stats.Registry
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	live   atomic.Int64 // worker goroutines alive
+	busy   atomic.Int64 // workers executing a point right now
 
 	mu       sync.Mutex
 	draining bool
 	started  bool
 }
 
-// New builds a server: opens (and recovers) the result store and composes
-// the per-point executor from the config.
+// New builds a server: opens (and recovers) the result and poison stores and
+// composes the per-point executor from the config.
 func New(cfg Config) (*Server, error) {
 	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	poisonDir := ""
+	if cfg.StoreDir != "" {
+		poisonDir = filepath.Join(cfg.StoreDir, PoisonDir)
+	}
+	poison, err := OpenPoisonStore(poisonDir)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
-	s := &Server{cfg: cfg, store: store, sched: newScheduler()}
+	s := &Server{
+		cfg: cfg, store: store, poison: poison,
+		sched: newScheduler(poison, cfg.Retry, cfg.MaxQueue),
+	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.run = cfg.RunPoint
 	if s.run == nil {
@@ -94,15 +127,27 @@ func New(cfg Config) (*Server, error) {
 			return experiments.Run(ctx, spec, opts...)
 		}
 	}
+	if cfg.Chaos != nil {
+		// The chaos layer wraps the fully composed executor, so injected
+		// faults exercise the same retry/quarantine path real failures take.
+		s.run = cfg.Chaos.Wrap(s.run)
+	}
 	s.reg = stats.NewRegistry()
 	obs.RegisterHostStats(s.reg)
 	s.reg.Register("sweepd.points.pending", "simulation points queued", func() float64 {
-		_, _, pending, _ := s.sched.serverCounts()
-		return float64(pending)
+		return float64(s.sched.counts().pending)
 	})
 	s.reg.Register("sweepd.points.running", "simulation points executing", func() float64 {
-		_, _, _, running := s.sched.serverCounts()
-		return float64(running)
+		return float64(s.sched.counts().running)
+	})
+	s.reg.Register("sweepd.points.retrying", "points waiting out a retry backoff", func() float64 {
+		return float64(s.sched.counts().delayed)
+	})
+	s.reg.Register("sweepd.retries", "retry attempts scheduled since boot", func() float64 {
+		return float64(s.sched.counts().retries)
+	})
+	s.reg.Register("sweepd.quarantined", "poison points quarantined", func() float64 {
+		return float64(poison.Len())
 	})
 	s.reg.Register("sweepd.store.len", "results in the persistent store", func() float64 {
 		return float64(store.Len())
@@ -120,29 +165,44 @@ func (s *Server) Start() {
 	s.started = true
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
+		s.live.Add(1)
 		go s.worker()
 	}
 }
 
 // worker pulls points off the scheduler until it closes with an empty queue.
+// Each attempt runs under the per-point deadline (if configured); the outcome
+// settles through the retry/quarantine state machine.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	defer s.live.Add(-1)
 	for {
 		p := s.sched.next()
 		if p == nil {
 			return
 		}
-		ticks, err := runPoint(s.ctx, s.run, p.spec)
-		s.sched.complete(s.store, p, ticks, err)
+		s.busy.Add(1)
+		ctx, cancel := s.ctx, context.CancelFunc(func() {})
+		if s.cfg.PointDeadline > 0 {
+			ctx, cancel = context.WithTimeout(s.ctx, s.cfg.PointDeadline)
+		}
+		ticks, err := runPoint(ctx, s.run, p.spec)
+		cancel()
+		s.busy.Add(-1)
+		s.sched.settle(s.store, p, ticks, err)
 	}
 }
 
 // Store exposes the result store (the e2e tests assert on its length).
 func (s *Server) Store() *Store { return s.store }
 
-// Drain stops accepting jobs, lets the workers finish every queued point,
-// and returns when the pool has exited or ctx ends (in which case the
-// remaining work is abandoned as in Close).
+// Poison exposes the quarantine (poison) store.
+func (s *Server) Poison() *PoisonStore { return s.poison }
+
+// Drain stops accepting jobs, lets the workers finish every queued point
+// (retry-waiting points skip their backoff and settle immediately), and
+// returns when the pool has exited or ctx ends (in which case the remaining
+// work is abandoned as in Close).
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -161,7 +221,8 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close abandons the queue: in-flight points are cancelled through their
-// context and the worker pool is awaited.
+// context (failing without retry or quarantine — a resubmission after
+// restart simulates them fresh) and the worker pool is awaited.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
@@ -180,6 +241,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/status", s.handleServerStatus)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantineList)
+	mux.HandleFunc("DELETE /v1/quarantine/{fp}", s.handleUnquarantine)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	return mux
 }
@@ -193,12 +257,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// Retry-After hints, in seconds: load shedding clears as soon as points
+// settle, so retry quickly; a draining server is going away, so back off.
+const (
+	retryAfterShed  = "1"
+	retryAfterDrain = "5"
+)
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, errorf("server is draining"))
+		w.Header().Set("Retry-After", retryAfterDrain)
+		writeJSON(w, http.StatusServiceUnavailable, errorf("%v", ErrDraining))
 		return
 	}
 	var req SubmitRequest
@@ -220,11 +292,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.sched.submit(s.store, req, s.cfg.Quota)
 	if err != nil {
-		code := http.StatusServiceUnavailable
-		if s.cfg.Quota > 0 && !s.sched.isClosed() {
-			code = http.StatusTooManyRequests
+		var quotaErr *QuotaError
+		var fullErr *QueueFullError
+		switch {
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterDrain)
+			writeJSON(w, http.StatusServiceUnavailable, errorf("%v", err))
+		case errors.As(err, &quotaErr), errors.As(err, &fullErr):
+			w.Header().Set("Retry-After", retryAfterShed)
+			writeJSON(w, http.StatusTooManyRequests, errorf("%v", err))
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorf("%v", err))
 		}
-		writeJSON(w, code, errorf("%v", err))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Points: len(j.points), Cached: j.cached})
@@ -312,17 +391,56 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleServerStatus(w http.ResponseWriter, r *http.Request) {
-	jobs, active, pending, running := s.sched.serverCounts()
-	hits, misses, stale := obs.CkptCacheCounts()
+	c := s.sched.counts()
+	hits, misses, stale, corrupt := obs.CkptCacheCounts()
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, ServerStatus{
-		Jobs: jobs, ActiveJobs: active,
-		PointsPending: pending, PointsRunning: running,
-		StoreLen: s.store.Len(), Draining: draining, Workers: s.cfg.Workers,
-		CkptCache: CkptCacheCounts{Hits: hits, Misses: misses, Stale: stale},
+		Jobs: c.jobs, ActiveJobs: c.active,
+		PointsPending: c.pending, PointsRunning: c.running,
+		PointsRetrying: c.delayed, Retries: c.retries,
+		StoreLen:    s.store.Len(),
+		Quarantined: s.poison.Len(), StoreQuarantined: s.store.Quarantined(),
+		Draining: draining, Workers: s.cfg.Workers,
+		CkptCache: CkptCacheCounts{Hits: hits, Misses: misses, Stale: stale, Corrupt: corrupt},
 	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c := s.sched.counts()
+	s.mu.Lock()
+	draining, started := s.draining, s.started
+	s.mu.Unlock()
+	live := int(s.live.Load())
+	h := HealthStatus{
+		Draining:    draining,
+		WorkersLive: live, WorkersBusy: int(s.busy.Load()),
+		QueueDepth: c.pending + c.delayed, Retrying: c.delayed,
+		Quarantined: s.poison.Len(), StoreQuarantined: s.store.Quarantined(),
+	}
+	h.OK = !draining && started && live == s.cfg.Workers
+	code := http.StatusOK
+	if !h.OK {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleQuarantineList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, QuarantineList{
+		Points:     s.poison.List(),
+		StoreFiles: s.store.Quarantined(),
+	})
+}
+
+func (s *Server) handleUnquarantine(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !s.poison.Remove(fp) {
+		writeJSON(w, http.StatusNotFound, errorf("fingerprint %q is not quarantined", fp))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": fp})
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
@@ -331,11 +449,11 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	s.draining = true
 	s.mu.Unlock()
 	s.sched.close()
-	_, _, pending, running := s.sched.serverCounts()
+	c := s.sched.counts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"draining":       true,
 		"already":        already,
-		"points_pending": pending,
-		"points_running": running,
+		"points_pending": c.pending,
+		"points_running": c.running,
 	})
 }

@@ -21,7 +21,19 @@
 //	GET    /v1/jobs/{id}/stream  live JSONL progress (host interval records)
 //	DELETE /v1/jobs/{id}         cancel: queued points are skipped
 //	GET    /v1/status            server-wide status
+//	GET    /v1/healthz           liveness/readiness probe (503 while draining)
+//	GET    /v1/quarantine        quarantined (poison) points + corrupt store files
+//	DELETE /v1/quarantine/{fp}   un-quarantine a point so it may simulate again
 //	POST   /v1/drain             stop accepting jobs, finish the queue
+//
+// The execution layer is fault tolerant: transient failures (hangs, blown
+// per-point deadlines, worker panics) retry on a seeded
+// exponential-backoff-plus-jitter schedule that is a pure function of
+// (seed, fingerprint, attempt) — identical at any worker count; permanent
+// failures and points that exhaust their attempt budget are quarantined in a
+// persistent poison store and served as errors instead of re-simulating;
+// submissions beyond the queue depth bound or a client's quota are shed with
+// HTTP 429 and a Retry-After hint.
 package sweepd
 
 import (
@@ -93,22 +105,61 @@ type JobStatus struct {
 
 // ServerStatus is the server-wide status payload.
 type ServerStatus struct {
-	Jobs          int             `json:"jobs"`
-	ActiveJobs    int             `json:"active_jobs"`
-	PointsPending int             `json:"points_pending"`
-	PointsRunning int             `json:"points_running"`
-	StoreLen      int             `json:"store_len"`
-	Draining      bool            `json:"draining"`
-	Workers       int             `json:"workers"`
-	CkptCache     CkptCacheCounts `json:"ckpt_cache"`
+	Jobs          int `json:"jobs"`
+	ActiveJobs    int `json:"active_jobs"`
+	PointsPending int `json:"points_pending"`
+	PointsRunning int `json:"points_running"`
+	// PointsRetrying counts points sitting out a retry backoff.
+	PointsRetrying int `json:"points_retrying"`
+	// Retries counts retry attempts scheduled since boot.
+	Retries  uint64 `json:"retries"`
+	StoreLen int    `json:"store_len"`
+	// Quarantined counts poison points (see /v1/quarantine);
+	// StoreQuarantined counts corrupt result files the boot integrity scan
+	// moved to the store's quarantine/ subdirectory.
+	Quarantined      int             `json:"quarantined"`
+	StoreQuarantined int             `json:"store_quarantined"`
+	Draining         bool            `json:"draining"`
+	Workers          int             `json:"workers"`
+	CkptCache        CkptCacheCounts `json:"ckpt_cache"`
+}
+
+// HealthStatus is the healthz payload: a load balancer's readiness signal
+// (the endpoint answers 503 while draining or with workers missing) plus the
+// numbers an operator wants first during an incident.
+type HealthStatus struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+	// WorkersLive counts worker goroutines currently alive, WorkersBusy the
+	// subset executing a point right now.
+	WorkersLive int `json:"workers_live"`
+	WorkersBusy int `json:"workers_busy"`
+	// QueueDepth counts waiting points: pending plus retry-wait.
+	QueueDepth int `json:"queue_depth"`
+	Retrying   int `json:"retrying"`
+	// Quarantined counts poison points; StoreQuarantined corrupt store files.
+	Quarantined      int `json:"quarantined"`
+	StoreQuarantined int `json:"store_quarantined"`
+}
+
+// QuarantineList is the quarantine endpoint's payload.
+type QuarantineList struct {
+	// Points are the poison records, sorted by fingerprint.
+	Points []PoisonRecord `json:"points"`
+	// StoreFiles counts corrupt result files moved aside by the boot scan
+	// (kept in the store's quarantine/ subdirectory for post-mortems).
+	StoreFiles int `json:"store_files"`
 }
 
 // CkptCacheCounts mirrors the warm-start cache effectiveness counters into
-// the status payload.
+// the status payload. Stale counts snapshots that failed to restore;
+// Corrupt counts persisted snapshot files rejected by their integrity
+// trailer. Both degrade the point to a cold run.
 type CkptCacheCounts struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	Stale  uint64 `json:"stale"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stale   uint64 `json:"stale"`
+	Corrupt uint64 `json:"corrupt"`
 }
 
 // SubmitRequest is the submit endpoint's request body, decoded strictly: an

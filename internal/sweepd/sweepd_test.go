@@ -72,11 +72,22 @@ func TestStorePersistsAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	if re.Len() != 1 {
-		t.Fatalf("reopened store has %d entries, want 1 (corrupt files skipped)", re.Len())
+		t.Fatalf("reopened store has %d entries, want 1 (corrupt files quarantined)", re.Len())
 	}
 	e, ok := re.Get(spec.Fingerprint())
 	if !ok || e.Ticks != 4242 {
 		t.Fatalf("reopened store lost the result: %+v ok=%v", e, ok)
+	}
+	// The corrupt files were moved to quarantine/, counted, and preserved.
+	if re.Quarantined() != 2 {
+		t.Errorf("quarantined %d files, want 2", re.Quarantined())
+	}
+	moved, err := os.ReadDir(filepath.Join(dir, StoreQuarantineDir))
+	if err != nil || len(moved) != 2 {
+		t.Errorf("quarantine dir has %d files (err=%v), want 2", len(moved), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, wrongName.Fingerprint()+".json")); !os.IsNotExist(err) {
+		t.Error("mismatched file still sits in the store root")
 	}
 }
 
