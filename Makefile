@@ -24,4 +24,4 @@ bench-check:
 
 # Enforce godoc comments on every exported symbol of the kernel packages.
 doccheck:
-	$(GO) run ./cmd/doccheck ./internal/sim ./internal/port ./internal/sweepd ./internal/rtlc
+	$(GO) run ./cmd/doccheck ./internal/sim ./internal/port ./internal/sweepd ./internal/rtlc ./internal/prof

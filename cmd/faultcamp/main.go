@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 )
 
@@ -38,6 +40,8 @@ func main() {
 	limitMs := flag.Int("limit-ms", 2000, "per-run simulated time limit in milliseconds")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the whole campaign (0 = none)")
 	checkPorts := flag.Bool("check-ports", false, "also enforce the timing-port protocol during faulted runs")
+	selfProf := flag.Int("self-profile", 0, "attach the event-kernel self-profiler to every injection run with this clock-read cadence (64 is a good default; 0 = off)")
+	selfProfOut := flag.String("self-profile-out", "", "self-profile export file for the campaign aggregate: .pb.gz = pprof protobuf, else folded stacks (default: print a table to stderr)")
 	verbose := flag.Bool("v", false, "print watchdog/outcome details per injection")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
@@ -72,6 +76,16 @@ func main() {
 		r.Monitor = &obs.HostMonitor{W: f}
 	}
 	limit := sim.Tick(*limitMs) * sim.Millisecond
+	var attrMu sync.Mutex
+	var attr prof.Report
+	var sink func(*prof.Report)
+	if *selfProf > 0 {
+		sink = func(rep *prof.Report) {
+			attrMu.Lock()
+			attr.Merge(rep)
+			attrMu.Unlock()
+		}
+	}
 	start := time.Now()
 	var results []experiments.FaultResult
 	var err error
@@ -82,12 +96,15 @@ func main() {
 				Workload: *workload, NVDLAs: *nvdlas, Memory: *memName,
 				Inflight: *inflight, Scale: *scale, Limit: limit,
 			},
-			Seed:  *seed,
-			Count: *count,
+			Seed:        *seed,
+			Count:       *count,
+			SelfProfile: *selfProf,
+			AttrSink:    sink,
 		})
 	case "pmu":
 		results, err = r.PMUFaultCampaign(ctx, experiments.PMUCampaign{
 			Seed: *seed, Count: *count, Limit: limit,
+			SelfProfile: *selfProf, AttrSink: sink,
 		})
 	default:
 		err = fmt.Errorf("unknown target %q (want nvdla or pmu)", *target)
@@ -107,6 +124,15 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(experiments.FormatFaultTable(results))
+	if *selfProf > 0 {
+		if err := attr.Export(*selfProfOut, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcamp:", err)
+			os.Exit(1)
+		}
+		if *selfProfOut != "" {
+			fmt.Fprintf(os.Stderr, "# self-profile (campaign aggregate) written to %s\n", *selfProfOut)
+		}
+	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "# %d injections in %s host time (%d workers)\n",
 			len(results), time.Since(start).Round(time.Millisecond), *parallel)

@@ -29,6 +29,7 @@ import (
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/rtl"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
@@ -36,8 +37,15 @@ import (
 	"gem5rtl/internal/workload"
 )
 
+// fatalCleanup holds flush/close hooks fatal runs (LIFO) before exiting.
+// os.Exit skips deferred closers, so without this an aborted run — a watchdog
+// trip, a blown -timeout — would leave truncated, unparseable -trace-out and
+// -stats-out files.
+var fatalCleanup []func()
+
 // outFile resolves an output flag: empty means stderr, anything else is
-// created (the returned closer is a no-op for stderr).
+// created (the returned closer is a no-op for stderr). The closer is also
+// registered with fatalCleanup so a fatal exit still closes the file.
 func outFile(path string) (io.Writer, func(), error) {
 	if path == "" {
 		return os.Stderr, func() {}, nil
@@ -46,7 +54,9 @@ func outFile(path string) (io.Writer, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	closer := func() { f.Close() }
+	fatalCleanup = append(fatalCleanup, closer)
+	return f, closer, nil
 }
 
 func main() {
@@ -77,6 +87,8 @@ func main() {
 	statsFormat := flag.String("stats-format", "jsonl", "interval-stats format: jsonl or csv")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) of packet lifetimes to this file")
 	latHist := flag.Bool("lat-hist", false, "attach packet-latency taps and report per-link histograms in the stats dump")
+	selfProf := flag.Int("self-profile", 0, "attach the event-kernel self-profiler with this clock-read cadence in dispatches (64 is a good default; 0 = off)")
+	selfProfOut := flag.String("self-profile-out", "", "self-profile export file: .pb.gz = pprof protobuf, else folded stacks (default: print an attribution table to stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
@@ -103,6 +115,9 @@ func main() {
 	s, err := soc.Build(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *selfProf > 0 {
+		s.AttachSelfProfiler(*selfProf)
 	}
 
 	if *pprofAddr != "" {
@@ -239,29 +254,38 @@ func main() {
 	}
 	// flushObs drains the host-side observability sinks; run it before a
 	// checkpoint save (the interval event is host-side and not serialisable)
-	// and before the final stats dump.
-	flushObs := func() {
+	// and before the final stats dump. It is idempotent and registered with
+	// fatalCleanup, so even an aborted run (watchdog trip, blown -timeout)
+	// leaves a complete, parseable trace and interval-stats file behind.
+	flushed := false
+	flushObs := func() error {
+		if flushed {
+			return nil
+		}
+		flushed = true
 		if dumper != nil {
 			if err := dumper.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if chrome != nil {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := chrome.WriteJSON(f); err != nil {
 				f.Close()
-				fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Fprintf(os.Stderr, "# %d spans written to %s (open in Perfetto)\n",
 				chrome.Spans(), *traceOut)
 		}
+		return nil
 	}
+	fatalCleanup = append(fatalCleanup, func() { _ = flushObs() })
 
 	limit := sim.Tick(*limitMs) * sim.Millisecond
 	if *ckptAt > 0 {
@@ -285,7 +309,9 @@ func main() {
 			// The check event is host-side and not serialisable.
 			s.Watchdog.Stop()
 		}
-		flushObs()
+		if err := flushObs(); err != nil {
+			fatal(err)
+		}
 		if err := s.SaveFile(*ckptOut); err != nil {
 			fatal(err)
 		}
@@ -314,10 +340,20 @@ func main() {
 		}
 	}
 
-	flushObs()
+	if err := flushObs(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("# simulated %.3f ms (%d events)\n",
 		float64(s.Queue.Now())/float64(sim.Millisecond), s.Queue.Dispatched())
 	s.Stats.Dump(os.Stdout)
+	if rep := prof.FromQueue(s.Queue); rep != nil {
+		if err := rep.Export(*selfProfOut, os.Stderr); err != nil {
+			fatal(err)
+		}
+		if *selfProfOut != "" {
+			fmt.Fprintf(os.Stderr, "# self-profile written to %s\n", *selfProfOut)
+		}
+	}
 }
 
 // engineChoices renders the registered RTL engines for flag help.
@@ -330,6 +366,9 @@ func engineChoices() string {
 }
 
 func fatal(err error) {
+	for i := len(fatalCleanup) - 1; i >= 0; i-- {
+		fatalCleanup[i]()
+	}
 	fmt.Fprintln(os.Stderr, "gem5rtl:", err)
 	os.Exit(1)
 }

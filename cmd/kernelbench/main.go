@@ -35,6 +35,7 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "calendar speedup vs reference heap: %.2fx\n", rep.CalendarSpeedup)
 	fmt.Fprintf(os.Stderr, "rtl bytecode speedup vs closure engine: %.2fx\n", rep.RTLSpeedup)
+	fmt.Fprintf(os.Stderr, "self-profiler dispatch overhead: %.3fx\n", rep.SelfProfOverhead)
 
 	if *out != "" {
 		buf, err := rep.Marshal()

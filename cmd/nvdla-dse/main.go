@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/guard"
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 )
 
@@ -33,6 +35,8 @@ func main() {
 	rtlEngine := flag.String("rtl-engine", "", "RTL simulation engine for every point (closure or bytecode; default bytecode; results are engine-independent)")
 	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog to every cold point so hangs fail fast with a diagnostic (ignored on warm-start runs)")
 	checkPorts := flag.Bool("check-ports", false, "enforce the timing-port handshake protocol on every bound link (panics on a violation)")
+	selfProf := flag.Int("self-profile", 0, "attach the event-kernel self-profiler to every point with this clock-read cadence (64 is a good default; 0 = off)")
+	selfProfOut := flag.String("self-profile-out", "", "self-profile export file for the sweep-wide aggregate: .pb.gz = pprof protobuf, else folded stacks (default: print a table to stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
@@ -65,6 +69,16 @@ func main() {
 		os.Exit(2)
 	}
 	r := experiments.Runner{Workers: *parallel}
+	var attrMu sync.Mutex
+	var attr prof.Report
+	if *selfProf > 0 {
+		r.SelfProfile = *selfProf
+		r.AttrSink = func(rep *prof.Report) {
+			attrMu.Lock()
+			attr.Merge(rep)
+			attrMu.Unlock()
+		}
+	}
 	if *hostMetrics != "" {
 		f, err := os.Create(*hostMetrics)
 		if err != nil {
@@ -91,6 +105,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
 		os.Exit(1)
+	}
+	if *selfProf > 0 {
+		if err := attr.Export(*selfProfOut, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "nvdla-dse:", err)
+			os.Exit(1)
+		}
+		if *selfProfOut != "" {
+			fmt.Fprintf(os.Stderr, "# self-profile (sweep aggregate) written to %s\n", *selfProfOut)
+		}
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "# %d points in %s host time (%d workers)\n",

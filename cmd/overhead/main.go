@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/obs"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 )
 
@@ -24,6 +26,8 @@ func main() {
 	scale := flag.Int("scale", 8, "NVDLA trace footprint divisor (table 3)")
 	parallel := flag.Int("parallel", 1, "worker goroutines (keep 1 for faithful host times)")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget for the study (0 = none)")
+	selfProf := flag.Int("self-profile", 0, "attach the event-kernel self-profiler to every sweep point with this clock-read cadence (0 = off)")
+	selfProfOut := flag.String("self-profile-out", "", "self-profile export file for the study aggregate: .pb.gz = pprof protobuf, else folded stacks (default: print a table to stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
@@ -42,6 +46,16 @@ func main() {
 		defer stop()
 	}
 	r := experiments.Runner{Workers: *parallel}
+	var attrMu sync.Mutex
+	var attr prof.Report
+	if *selfProf > 0 {
+		r.SelfProfile = *selfProf
+		r.AttrSink = func(rep *prof.Report) {
+			attrMu.Lock()
+			attr.Merge(rep)
+			attrMu.Unlock()
+		}
+	}
 	if *hostMetrics != "" {
 		f, err := os.Create(*hostMetrics)
 		if err != nil {
@@ -77,6 +91,14 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown table %d", *table))
+	}
+	if *selfProf > 0 {
+		if err := attr.Export(*selfProfOut, os.Stderr); err != nil {
+			fatal(err)
+		}
+		if *selfProfOut != "" {
+			fmt.Fprintf(os.Stderr, "# self-profile (study aggregate) written to %s\n", *selfProfOut)
+		}
 	}
 }
 

@@ -21,6 +21,8 @@ func main() {
 	table2 := flag.Bool("table2", false, "run the Table 2 overhead study instead of Figure 5")
 	parallel := flag.Int("parallel", 1, "worker goroutines for -table2 (keep 1 for faithful host times)")
 	timeout := flag.Duration("timeout", 0, "host wall-clock budget (0 = none)")
+	selfProf := flag.Int("self-profile", 0, "attach the event-kernel self-profiler with this clock-read cadence (64 is a good default; 0 = off; Figure 5 mode only)")
+	selfProfOut := flag.String("self-profile-out", "", "self-profile export file: .pb.gz = pprof protobuf, else folded stacks (default: print a table to stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	hostMetrics := flag.String("host-metrics", "", "write periodic host runtime metrics (JSONL) to this file")
 	flag.Parse()
@@ -60,11 +62,21 @@ func main() {
 		defer mon.Stop()
 	}
 
-	p := experiments.Fig5Params{N: *n, SleepUs: *sleepUs, IntervalCycles: *interval}
+	p := experiments.Fig5Params{N: *n, SleepUs: *sleepUs, IntervalCycles: *interval,
+		SelfProfile: *selfProf}
 	res, err := experiments.RunFigure5Ctx(ctx, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmurun:", err)
 		os.Exit(1)
+	}
+	if res.Attr != nil {
+		if err := res.Attr.Export(*selfProfOut, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "pmurun:", err)
+			os.Exit(1)
+		}
+		if *selfProfOut != "" {
+			fmt.Fprintf(os.Stderr, "# self-profile written to %s\n", *selfProfOut)
+		}
 	}
 	fmt.Println("# Figure 5: IPC/MPKI over time, PMU counters vs gem5 statistics")
 	fmt.Println("# time_ms  pmu_ipc  gem5_ipc  pmu_mpki  gem5_mpki")

@@ -19,7 +19,9 @@ import (
 	"strings"
 
 	"gem5rtl/internal/obs"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/rtl"
+	"gem5rtl/internal/sim"
 	"gem5rtl/internal/verilog"
 	"gem5rtl/internal/vhdl"
 
@@ -33,6 +35,8 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
 	ckptPath := flag.String("checkpoint", "", "save model state here after the run")
 	restPath := flag.String("restore", "", "restore model state from here before the run")
+	selfProf := flag.Int("self-profile", 0, "profile the model's comb/seq/memw phases with this clock-read cadence (64 is a good default; 0 = off)")
+	selfProfOut := flag.String("self-profile-out", "", "self-profile export file: .pb.gz = pprof protobuf, else folded stacks (default: print a table to stderr)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	engineName := flag.String("rtl-engine", "", "simulation engine: closure or bytecode (default closure; results are engine-independent)")
 	var sets multiFlag
@@ -72,6 +76,19 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	// A standalone model has no event queue; a fresh one hosts the profiler
+	// so the model's phonebook of phase owners and the export formats are the
+	// same ones the full-system binaries use.
+	var profQ *sim.EventQueue
+	if *selfProf > 0 {
+		profQ = sim.NewEventQueue()
+		p := profQ.AttachProfiler(*selfProf)
+		model.AttachProfiler(p,
+			profQ.Owner(*top, "rtl-comb"),
+			profQ.Owner(*top, "rtl-seq"),
+			profQ.Owner(*top, "rtl-memw"))
 	}
 
 	if *restPath != "" {
@@ -119,6 +136,16 @@ func main() {
 
 	if vcdFile != nil {
 		vcdFile.Close()
+	}
+	if profQ != nil {
+		if rep := prof.FromQueue(profQ); rep != nil {
+			if err := rep.Export(*selfProfOut, os.Stderr); err != nil {
+				fatal(err)
+			}
+			if *selfProfOut != "" {
+				fmt.Fprintf(os.Stderr, "# self-profile written to %s\n", *selfProfOut)
+			}
+		}
 	}
 	if *ckptPath != "" {
 		f, err := os.Create(*ckptPath)

@@ -18,6 +18,8 @@
 //	cancel         cancel a job (queued points are skipped)
 //	local          run a batch from stdin in-process and print results
 //	server-status  print server-wide status
+//	metrics        dump the Prometheus text-format metrics plane
+//	top            render the fleet's per-component attribution table
 //	healthz        probe server health (exit 1 while draining/unhealthy)
 //	quarantine     list quarantined (poison) points and corrupt store files
 //	unquarantine   clear a point's quarantine record so it may simulate again
@@ -35,10 +37,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/sweepd"
 )
@@ -66,6 +70,10 @@ func main() {
 		err = cmdLocal(args)
 	case "server-status":
 		err = cmdServer(args, http.MethodGet, "/v1/status", "server-status")
+	case "metrics":
+		err = cmdServer(args, http.MethodGet, "/v1/metrics", "metrics")
+	case "top":
+		err = cmdTop(args)
 	case "healthz":
 		err = cmdServer(args, http.MethodGet, "/v1/healthz", "healthz")
 	case "quarantine":
@@ -84,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sweepctl {grid|submit|status|results|watch|cancel|local|server-status|healthz|quarantine|unquarantine|drain} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sweepctl {grid|submit|status|results|watch|cancel|local|server-status|metrics|top|healthz|quarantine|unquarantine|drain} [flags]")
 	os.Exit(2)
 }
 
@@ -279,6 +287,130 @@ func printBody(url string) error {
 	}
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
+}
+
+// cmdTop fetches /v1/metrics and renders the fleet view an operator wants
+// first: the queue/worker gauges on one line, then the aggregated
+// per-component attribution table sorted by host-time share (populated only
+// when the server runs with -self-profile).
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "sweepd base URL")
+	k := fs.Int("k", 15, "attribution rows to show (0 = all)")
+	fs.Parse(args)
+
+	resp, err := http.Get(*addr + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("top", resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	gauges, rep := parseMetrics(string(body))
+	fmt.Printf("pending=%g running=%g retrying=%g quarantined=%g workers busy=%g/%g util=%.0f%%\n",
+		gauges["sweepd_points_pending"], gauges["sweepd_points_running"],
+		gauges["sweepd_points_retrying"], gauges["sweepd_quarantined"],
+		gauges["sweepd_workers_busy"], gauges["sweepd_workers_live"],
+		gauges["sweepd_workers_utilization"]*100)
+	if len(rep.Samples) == 0 {
+		fmt.Println("no attribution samples (is the server running with -self-profile?)")
+		return nil
+	}
+	fmt.Println("aggregated attribution (share of sampled host time):")
+	return rep.WriteTable(os.Stdout, *k)
+}
+
+// parseMetrics reads a Prometheus text-format body back into the unlabelled
+// gauges (keyed by name with the metric prefix stripped) and the selfprof
+// attribution report. It understands exactly the subset sweepd emits.
+func parseMetrics(body string) (map[string]float64, *prof.Report) {
+	gauges := map[string]float64{}
+	byOwner := map[[2]string]*prof.Sample{}
+	rep := &prof.Report{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		brace := strings.IndexByte(id, '{')
+		if brace < 0 {
+			gauges[strings.TrimPrefix(id, sweepd.MetricsPrefix)] = val
+			continue
+		}
+		name := strings.TrimPrefix(id[:brace], sweepd.MetricsPrefix)
+		if name != "selfprof_events_total" && name != "selfprof_seconds_total" {
+			continue
+		}
+		labels := parseLabels(id[brace:])
+		key := [2]string{labels["component"], labels["kind"]}
+		s := byOwner[key]
+		if s == nil {
+			s = &prof.Sample{Component: key[0], Kind: key[1]}
+			byOwner[key] = s
+		}
+		if name == "selfprof_events_total" {
+			s.Events = uint64(val)
+		} else {
+			s.HostNS = int64(val * 1e9)
+		}
+	}
+	for _, s := range byOwner {
+		rep.Samples = append(rep.Samples, *s)
+	}
+	return gauges, rep
+}
+
+// parseLabels decodes a {k="v",...} label set (quoted-string values, as the
+// server emits them).
+func parseLabels(s string) map[string]string {
+	out := map[string]string{}
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return out
+		}
+		key := s[:eq]
+		rest := s[eq+1:]
+		val, err := strconv.Unquote(unquotePrefix(rest))
+		if err != nil {
+			return out
+		}
+		out[key] = val
+		consumed := len(unquotePrefix(rest))
+		s = rest[consumed:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+// unquotePrefix returns the leading Go-quoted string of s (including both
+// quotes), honouring backslash escapes.
+func unquotePrefix(s string) string {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			return s[:i+1]
+		}
+	}
+	return s
 }
 
 // cmdUnquarantine clears one point's quarantine record by fingerprint; the

@@ -45,6 +45,7 @@ func main() {
 	retrySeed := flag.Uint64("retry-seed", 0, "seed for the deterministic retry jitter schedule")
 	pointDeadline := flag.Duration("point-deadline", 0, "wall-clock budget per execution attempt; a blown deadline retries the point (0 = none)")
 	watchdog := flag.Bool("watchdog", false, "attach a liveness watchdog to every point so hangs fail fast")
+	selfProfile := flag.Int("self-profile", 0, "attach the event-kernel self-profiler to every point with this clock-read cadence (64 is a good default; 0 = off); attribution aggregates on GET /v1/metrics")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long a signal-triggered drain may run before abandoning the queue")
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 			Seed:        *retrySeed,
 		},
 		PointDeadline: *pointDeadline,
+		SelfProfile:   *selfProfile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)

@@ -129,7 +129,9 @@ func New(cfg Config, q *sim.EventQueue) *Cache {
 	c.cpuPort = port.NewResponsePort(cfg.Name+".cpu_side", (*cacheCPUSide)(c))
 	c.memPort = port.NewRequestPort(cfg.Name+".mem_side", (*cacheMemSide)(c))
 	c.respQ = port.NewRespQueue(cfg.Name+".resp", q, c.cpuPort)
+	c.respQ.SetOwner(q.Owner(cfg.Name, "resp-drain"))
 	c.reqQ = port.NewReqQueue(cfg.Name+".req", q, c.memPort)
+	c.reqQ.SetOwner(q.Owner(cfg.Name, "req-drain"))
 	return c
 }
 

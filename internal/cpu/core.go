@@ -173,7 +173,8 @@ func New(cfg Config, dom *sim.ClockDomain) *Core {
 	c.iPort = port.NewRequestPort(cfg.Name+".icache", (*coreIFace)(c))
 	c.dPort = port.NewRequestPort(cfg.Name+".dcache", (*coreDFace)(c))
 	c.ticker = sim.NewTicker(cfg.Name+".tick", dom, sim.PriCPU, c.cycle)
-	c.wakeEv = sim.NewEvent(cfg.Name+".wake", c.wake)
+	c.ticker.SetOwner(c.q.Owner(cfg.Name, "tick"))
+	c.wakeEv = sim.NewEvent(cfg.Name+".wake", c.wake).SetOwner(c.q.Owner(cfg.Name, "wake"))
 	return c
 }
 

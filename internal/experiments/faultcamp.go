@@ -11,6 +11,7 @@ import (
 	"gem5rtl/internal/nvdla"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
 	"gem5rtl/internal/trace"
@@ -31,6 +32,13 @@ type FaultCampaign struct {
 	// Guard tunes the per-run watchdog that reaps hung injections. The zero
 	// value selects the guard defaults.
 	Guard guard.Config
+	// SelfProfile, when > 0, attaches the event-kernel self-profiler to every
+	// run (reference and injections) with this clock-read cadence. Profiling
+	// is observational: the classification table is unchanged.
+	SelfProfile int
+	// AttrSink receives each profiled run's attribution report. It is called
+	// from worker goroutines and must be safe for concurrent use.
+	AttrSink func(*prof.Report)
 }
 
 // FaultResult is the classified outcome of one injection.
@@ -93,16 +101,20 @@ type faultRunResult struct {
 // faultRun builds and runs one point with an optional injected fault and a
 // watchdog, returning the output signature and hang state. A nil fault is the
 // reference run.
-func faultRun(ctx context.Context, spec RunSpec, gcfg guard.Config, f *guard.Fault, outs []memRegion) (faultRunResult, error) {
+func faultRun(ctx context.Context, c FaultCampaign, f *guard.Fault, outs []memRegion) (faultRunResult, error) {
 	var res faultRunResult
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
+	spec := c.Spec
 	s, err := buildPoint(spec)
 	if err != nil {
 		return res, err
 	}
-	wd := s.AttachWatchdog(gcfg)
+	if c.SelfProfile > 0 {
+		s.AttachSelfProfiler(c.SelfProfile)
+	}
+	wd := s.AttachWatchdog(c.Guard)
 	defer wd.Stop()
 	var tap *guard.PacketFaultTap
 	if f != nil {
@@ -114,13 +126,14 @@ func faultRun(ctx context.Context, spec RunSpec, gcfg guard.Config, f *guard.Fau
 			tap.BindDelay(s.Queue, inj)
 		case guard.DRAMBitFlip:
 			addr, bit := f.Addr, f.Bit%8
-			s.Queue.ScheduleOneShot("guard.dram-bit-flip", f.Tick, func() {
-				var b [1]byte
-				s.Store.Read(addr, b[:])
-				b[0] ^= 1 << bit
-				s.Store.Write(addr, b[:])
-				res.fired = true
-			})
+			s.Queue.ScheduleOneShotOwned("guard.dram-bit-flip", f.Tick,
+				s.Queue.Owner("guard", "fault-inject"), func() {
+					var b [1]byte
+					s.Store.Read(addr, b[:])
+					b[0] ^= 1 << bit
+					s.Store.Write(addr, b[:])
+					res.fired = true
+				})
 		}
 	}
 	_, remaining, runErr := s.RunNVDLAPhase(ctx, spec.Limit)
@@ -142,6 +155,11 @@ func faultRun(ctx context.Context, spec RunSpec, gcfg guard.Config, f *guard.Fau
 		res.fired = true
 	}
 	res.sig = outputSignature(s, outs)
+	if c.AttrSink != nil {
+		if rep := prof.FromQueue(s.Queue); rep != nil {
+			c.AttrSink(rep)
+		}
+	}
 	return res, nil
 }
 
@@ -259,7 +277,7 @@ func (r Runner) FaultCampaign(ctx context.Context, c FaultCampaign) ([]FaultResu
 			outsAbs = append(outsAbs, memRegion{base + reg.addr, reg.size})
 		}
 	}
-	ref, err := faultRun(ctx, c.Spec, c.Guard, nil, outsAbs)
+	ref, err := faultRun(ctx, c, nil, outsAbs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fault-campaign reference run: %w", err)
 	}
@@ -290,7 +308,7 @@ func runFault(ctx context.Context, c FaultCampaign, i int, f guard.Fault, ref fa
 			res.Err = nil
 		}
 	}()
-	run, err := faultRun(ctx, c.Spec, c.Guard, &f, outs)
+	run, err := faultRun(ctx, c, &f, outs)
 	if err != nil {
 		res.Err = err
 		return res
@@ -358,6 +376,11 @@ type PMUCampaign struct {
 	// Limit bounds one run's simulated time (0 = 1 s).
 	Limit sim.Tick
 	Guard guard.Config
+	// SelfProfile and AttrSink mirror FaultCampaign: cadence > 0 attaches the
+	// self-profiler to every run, and AttrSink (called from worker goroutines;
+	// must be concurrency-safe) receives each run's attribution report.
+	SelfProfile int
+	AttrSink    func(*prof.Report)
 }
 
 // pmuRun executes the PMU workload once with an optional RTL state flip.
@@ -372,6 +395,9 @@ func pmuRun(ctx context.Context, c PMUCampaign, f *guard.Fault) (faultRunResult,
 	s, err := soc.Build(cfg)
 	if err != nil {
 		return res, err
+	}
+	if c.SelfProfile > 0 {
+		s.AttachSelfProfiler(c.SelfProfile)
 	}
 	host := NewAXIHost(s.Queue)
 	port.Bind(host.Port(), s.PMU.CPUPort(0))
@@ -390,10 +416,11 @@ func pmuRun(ctx context.Context, c PMUCampaign, f *guard.Fault) (faultRunResult,
 	defer wd.Stop()
 	if f != nil {
 		pick := f.Pick
-		s.Queue.ScheduleOneShot("guard.rtl-state-flip", f.Tick, func() {
-			s.PMUWrapper.Model().InjectStateFlip(pick)
-			res.fired = true
-		})
+		s.Queue.ScheduleOneShotOwned("guard.rtl-state-flip", f.Tick,
+			s.Queue.Owner("guard", "fault-inject"), func() {
+				s.PMUWrapper.Model().InjectStateFlip(pick)
+				res.fired = true
+			})
 	} else {
 		res.fired = true
 	}
@@ -426,6 +453,11 @@ func pmuRun(ctx context.Context, c PMUCampaign, f *guard.Fault) (faultRunResult,
 	}
 	h.Write(buf[:])
 	res.sig = h.Sum64()
+	if c.AttrSink != nil {
+		if rep := prof.FromQueue(s.Queue); rep != nil {
+			c.AttrSink(rep)
+		}
+	}
 	return res, nil
 }
 

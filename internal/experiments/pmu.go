@@ -15,6 +15,7 @@ import (
 	"gem5rtl/internal/obs"
 	"gem5rtl/internal/pmu"
 	"gem5rtl/internal/port"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
 	"gem5rtl/internal/workload"
@@ -105,6 +106,11 @@ type Fig5Params struct {
 	// Waveform enables PMU VCD tracing into WaveOut.
 	Waveform bool
 	WaveOut  io.Writer
+	// SelfProfile, when > 0, attaches the event-kernel self-profiler (with
+	// this clock-read cadence) and fills Fig5Result.Attr, sub-attributing the
+	// PMU model's comb/seq/memw phases. Profiling is observational: the
+	// sampled series is identical either way.
+	SelfProfile int
 }
 
 // DefaultFig5Params returns a scaled-down configuration (see EXPERIMENTS.md
@@ -121,6 +127,9 @@ type Fig5Result struct {
 	Gem5TotalInsts uint64
 	HostTime       time.Duration
 	SimTicks       sim.Tick
+	// Attr is the self-profiler attribution report (nil unless
+	// Fig5Params.SelfProfile was set).
+	Attr *prof.Report
 }
 
 // RunFigure5Ctx reproduces Figure 5: the sort benchmark runs on core 0 with
@@ -140,6 +149,9 @@ func RunFigure5Ctx(ctx context.Context, p Fig5Params) (*Fig5Result, error) {
 	s, err := soc.Build(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if p.SelfProfile > 0 {
+		s.AttachSelfProfiler(p.SelfProfile)
 	}
 	host := NewAXIHost(s.Queue)
 	port.Bind(host.p, s.PMU.CPUPort(0))
@@ -229,6 +241,7 @@ func RunFigure5Ctx(ctx context.Context, p Fig5Params) (*Fig5Result, error) {
 	res.PMUTotalInsts = pmuTotal
 	st := s.Cores[0].Stats()
 	res.Gem5TotalInsts = st.Committed
+	res.Attr = prof.FromQueue(s.Queue)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"gem5rtl/internal/guard"
 	"gem5rtl/internal/obs"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/soc"
 	"gem5rtl/internal/stats"
@@ -25,6 +26,8 @@ type runOpts struct {
 	trace     *obs.Config
 	stateHash *uint64
 	statsSink func([]stats.Sample)
+	profEvery int
+	profSink  func(*prof.Report)
 }
 
 // WithWarmStart turns the run into a warm-start point against cache: the
@@ -75,6 +78,25 @@ func WithStats(sink func([]stats.Sample)) Option {
 	return func(o *runOpts) { o.statsSink = sink }
 }
 
+// WithSelfProfile attaches the event-kernel self-profiler to the point's
+// system (soc.AttachSelfProfiler; every <= 0 selects the default clock-read
+// cadence) and delivers the per-component attribution report to sink after
+// the run completes. The report's event counts are exact and deterministic;
+// its host-time shares are sampled wall time. Profiling is observational:
+// the simulated machine and its final stats are byte-identical either way.
+// The checkpoint stream — and therefore StateHash, which digests it — gains
+// the exact event-count attribution table when profiling is on, so a
+// warm-start restore continues the prefix's attribution; the hash stays
+// deterministic in both modes.
+// Under warm-start the checkpoint carries the warm-up prefix's event counts,
+// so a restore run's attribution equals the uninterrupted run's exactly.
+func WithSelfProfile(every int, sink func(*prof.Report)) Option {
+	return func(o *runOpts) {
+		o.profEvery = every
+		o.profSink = sink
+	}
+}
+
 // Run executes one simulation point: n accelerator instances, each running
 // its own copy of the workload trace (the paper's setup), on the named
 // memory technology with the given in-flight cap. Cancelling ctx aborts the
@@ -104,6 +126,9 @@ func (o *runOpts) attach(s *soc.System) (*guard.Watchdog, error) {
 			return nil, err
 		}
 	}
+	if o.profSink != nil {
+		s.AttachSelfProfiler(o.profEvery)
+	}
 	if o.guard != nil {
 		return s.AttachWatchdog(*o.guard), nil
 	}
@@ -121,6 +146,9 @@ func (o *runOpts) finish(s *soc.System) error {
 	}
 	if o.statsSink != nil {
 		o.statsSink(s.Stats.SnapshotSorted())
+	}
+	if o.profSink != nil {
+		o.profSink(prof.FromQueue(s.Queue))
 	}
 	return nil
 }
@@ -169,6 +197,11 @@ func runWarm(ctx context.Context, spec RunSpec, o *runOpts) (sim.Tick, error) {
 			if _, err := s.AttachTracer(*o.trace); err != nil {
 				return 0, Permanent(err)
 			}
+		}
+		if o.profSink != nil {
+			// Attach before the restore so the snapshot's attribution
+			// counts fold straight into the live profiler.
+			s.AttachSelfProfiler(o.profEvery)
 		}
 		if _, err := s.Restore(bytes.NewReader(blob)); err == nil {
 			o.cache.countHit()

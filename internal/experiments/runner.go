@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gem5rtl/internal/obs"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 )
 
@@ -27,6 +28,11 @@ type Result struct {
 	// cancellation, or a recovered panic from a diverging simulation. The
 	// rest of the sweep is unaffected.
 	Err error
+	// Attr is the point's self-profiler attribution report (nil unless the
+	// Runner's SelfProfile is on). Its event counts are exact and
+	// deterministic; its host-time shares are sampled wall time and, like
+	// HostTime, machine-dependent.
+	Attr *prof.Report `json:"attr,omitempty"`
 }
 
 // Runner executes sweeps of independent simulation points on a worker pool.
@@ -51,6 +57,17 @@ type Runner struct {
 	// goroutines, heap, aggregate simulated events/sec) for the duration of
 	// each Sweep or ForEach. The caller owns the monitor's output writer.
 	Monitor *obs.HostMonitor
+	// SelfProfile, when > 0, attaches the event-kernel self-profiler to
+	// every non-ideal point (clock-read cadence in dispatches; use
+	// sim.DefaultProfileEvery) and stores each point's attribution report
+	// in Result.Attr. Ideal-memory baseline runs are shared across points
+	// and are never profiled. Ignored when Run is set.
+	SelfProfile int
+	// AttrSink, when non-nil, additionally receives every profiled point's
+	// attribution report as it completes — the aggregation hook for CLIs
+	// whose table helpers discard the raw Results. It is called from worker
+	// goroutines and must be safe for concurrent use.
+	AttrSink func(*prof.Report)
 }
 
 // executor resolves the per-point run function: an explicit override or the
@@ -157,7 +174,22 @@ func (r Runner) runOne(ctx context.Context, spec RunSpec, cache *baselineCache) 
 		return res
 	}
 	start := time.Now()
-	t, err := cache.run(ctx, spec)
+	var t sim.Tick
+	var err error
+	if r.SelfProfile > 0 && r.Run == nil {
+		// Per-point option composition: the sink writes this point's report,
+		// so the shared r.Options slice stays free of per-point sinks.
+		opts := append(append([]Option{}, r.Options...),
+			WithSelfProfile(r.SelfProfile, func(rep *prof.Report) {
+				res.Attr = rep
+				if r.AttrSink != nil {
+					r.AttrSink(rep)
+				}
+			}))
+		t, err = Run(ctx, spec, opts...)
+	} else {
+		t, err = cache.run(ctx, spec)
+	}
 	res.HostTime = time.Since(start)
 	if err != nil {
 		res.Err = err

@@ -231,9 +231,10 @@ func (t *PacketFaultTap) TapResp(pkt *port.Packet) port.TapAction {
 				return port.TapPass
 			}
 			held := pkt
-			t.q.ScheduleOneShot("guard.delay-resp", t.q.Now()+t.F.Delay, func() {
-				t.inj.DeliverResp(held)
-			})
+			t.q.ScheduleOneShotOwned("guard.delay-resp", t.q.Now()+t.F.Delay,
+				t.q.Owner("guard", "delay-resp"), func() {
+					t.inj.DeliverResp(held)
+				})
 			return port.TapDrop
 		}
 	}

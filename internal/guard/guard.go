@@ -127,7 +127,7 @@ func NewWatchdog(q *sim.EventQueue, cfg Config) *Watchdog {
 	w := &Watchdog{q: q, cfg: cfg}
 	// PriStats: the check observes the post-update state of its tick, after
 	// component events have run.
-	w.ev = sim.NewEventPri("guard.watchdog", sim.PriStats, w.check)
+	w.ev = sim.NewEventPri("guard.watchdog", sim.PriStats, w.check).SetOwner(q.Owner("guard", "watchdog"))
 	return w
 }
 

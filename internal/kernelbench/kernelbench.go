@@ -8,13 +8,19 @@
 //
 //   - queue/* — event-queue microbenchmarks, run on both the calendar
 //     queue and the reference binary heap so their ratio (the calendar
-//     speedup) is a machine-independent quantity;
+//     speedup) is a machine-independent quantity; queue/profiled repeats
+//     the calendar run with the self-profiler attached — a worst-case
+//     bound on the dispatch-boundary hook, since the churn benchmark's
+//     event bodies do no work of their own;
 //   - packet/pool — the pooled packet fast path;
 //   - rtl/* — the PMU RTL model ticked under the closure reference engine
 //     and the optimizing bytecode engine, so their ratio (the RTL compile
 //     speedup) is a machine-independent quantity;
-//   - sweep/* — the 12-config sanity3 DSE grid of BenchmarkSweep, cold and
-//     warm-start, exercising the whole simulator.
+//   - sweep/* — the 12-config sanity3 DSE grid of BenchmarkSweep, cold,
+//     warm-start and self-profiled, exercising the whole simulator;
+//     MeasureSelfProfOverhead separately derives the selfprof overhead
+//     (gated in CI) from drift-cancelling alternating passes, holding the
+//     profiler to its <5% whole-run budget.
 //
 // PERFORMANCE.md documents how to run the suite and how the JSON baseline
 // is compared.
@@ -23,7 +29,9 @@ package kernelbench
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/pmu"
@@ -43,14 +51,16 @@ type Bench struct {
 // Suite returns the full kernel benchmark suite in a fixed order.
 func Suite() []Bench {
 	return []Bench{
-		{"queue/calendar", func(b *testing.B) { benchQueueChurn(b, false) }},
-		{"queue/reference", func(b *testing.B) { benchQueueChurn(b, true) }},
+		{"queue/calendar", func(b *testing.B) { benchQueueChurn(b, false, false) }},
+		{"queue/reference", func(b *testing.B) { benchQueueChurn(b, true, false) }},
+		{"queue/profiled", func(b *testing.B) { benchQueueChurn(b, false, true) }},
 		{"queue/oneshot", benchOneShot},
 		{"packet/pool", benchPacketPool},
 		{"rtl/closure", func(b *testing.B) { benchRTL(b, rtl.EngineClosure) }},
 		{"rtl/bytecode", func(b *testing.B) { benchRTL(b, rtl.EngineBytecode) }},
-		{"sweep/cold", func(b *testing.B) { benchSweep(b, false) }},
-		{"sweep/warm", func(b *testing.B) { benchSweep(b, true) }},
+		{"sweep/cold", func(b *testing.B) { benchSweep(b, false, false) }},
+		{"sweep/warm", func(b *testing.B) { benchSweep(b, true, false) }},
+		{"sweep/profiled", func(b *testing.B) { benchSweep(b, false, true) }},
 	}
 }
 
@@ -58,23 +68,30 @@ func Suite() []Bench {
 // mixed event population: 64 near-future tickers at coprime clock-like
 // periods (the common case: every component reschedules within the calendar
 // window) plus 4 far tickers that land in the spill heap each round. One op
-// = one event dispatch.
-func benchQueueChurn(b *testing.B, reference bool) {
+// = one event dispatch. Every event carries an owner tag (tagging is always
+// on in real components), so the profiled row differs from queue/calendar by
+// exactly the attached profiler — their ns/op ratio is the dispatch-hook
+// overhead.
+func benchQueueChurn(b *testing.B, reference, profiled bool) {
 	var q *sim.EventQueue
 	if reference {
 		q = sim.NewReferenceEventQueue()
 	} else {
 		q = sim.NewEventQueue()
 	}
+	if profiled {
+		q.AttachProfiler(sim.DefaultProfileEvery)
+	}
 	periods := []sim.Tick{500, 625, 750, 1000, 1250, 2000, 3125, 10000}
 	var events []*sim.Event
 	for i := 0; i < 64; i++ {
 		i := i
 		p := periods[i%len(periods)]
+		owner := q.Owner(fmt.Sprintf("bench%d", i%8), "tick")
 		var ev *sim.Event
 		ev = sim.NewEvent(fmt.Sprintf("tick%d", i), func() {
 			q.Schedule(ev, q.Now()+p)
-		})
+		}).SetOwner(owner)
 		events = append(events, ev)
 		q.Schedule(ev, sim.Tick(1+i))
 	}
@@ -156,6 +173,59 @@ func benchRTL(b *testing.B, engine rtl.Engine) {
 	}
 }
 
+// MeasureSelfProfOverhead times alternating unprofiled/profiled sequential
+// passes over the 12-config DSE grid and returns the median profiled/cold
+// wall-time ratio (1.00 = free). Alternating within each pair — rather than
+// timing all cold passes and then all profiled passes, as the benchmark
+// suite's independent rows do — cancels slow machine drift, which on a busy
+// host is larger than the profiler's own cost; the median over pairs then
+// discards outlier passes. One warm-up pass runs untimed first so lazy
+// construction caches don't land in the first pair.
+func MeasureSelfProfOverhead(pairs int, logf func(format string, args ...any)) float64 {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	specs := sweepSpecs()
+	run := func(profiled bool) (float64, error) {
+		r := experiments.Runner{Workers: 1}
+		if profiled {
+			r.SelfProfile = sim.DefaultProfileEvery
+		}
+		start := time.Now()
+		results, err := r.Sweep(context.Background(), specs)
+		if err != nil {
+			return 0, err
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				return 0, fmt.Errorf("%v: %w", res.Spec, res.Err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()), nil
+	}
+	if _, err := run(false); err != nil {
+		logf("selfprof overhead measurement failed: %v", err)
+		return 0
+	}
+	ratios := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		cold, err := run(false)
+		if err != nil || cold <= 0 {
+			logf("selfprof overhead measurement failed: %v", err)
+			return 0
+		}
+		prof, err := run(true)
+		if err != nil {
+			logf("selfprof overhead measurement failed: %v", err)
+			return 0
+		}
+		ratios = append(ratios, prof/cold)
+		logf("  selfprof pair %d/%d: %.3fx", i+1, pairs, prof/cold)
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
 // sweepSpecs is the 12-config sanity3 grid of BenchmarkSweep.
 func sweepSpecs() []experiments.RunSpec {
 	p := experiments.DSEParams{Scale: 32, Limit: 8 * sim.Second}
@@ -170,10 +240,16 @@ func sweepSpecs() []experiments.RunSpec {
 
 // benchSweep measures one sequential pass over the 12-point DSE grid — the
 // macro benchmark the ISSUE acceptance targets. warm restores each point
-// from a 2µs checkpoint instead of simulating the prefix.
-func benchSweep(b *testing.B, warm bool) {
+// from a 2µs checkpoint instead of simulating the prefix; profiled attaches
+// the self-profiler to every point, so the profiled/cold ratio is the
+// whole-simulator profiling overhead on realistic work (the gated
+// selfprof_overhead column, budget <5%).
+func benchSweep(b *testing.B, warm, profiled bool) {
 	specs := sweepSpecs()
 	r := experiments.Runner{Workers: 1}
+	if profiled {
+		r.SelfProfile = sim.DefaultProfileEvery
+	}
 	if warm {
 		r.Options = []experiments.Option{
 			experiments.WithWarmStart(2*sim.Microsecond, experiments.NewCheckpointCache("")),

@@ -28,8 +28,17 @@ type Report struct {
 	// RTLSpeedup is rtl/closure ns/op divided by rtl/bytecode ns/op from
 	// the same run — the RTL compiler's speedup over the closure reference
 	// engine, machine-relative like CalendarSpeedup.
-	RTLSpeedup float64  `json:"rtl_compile_speedup"`
-	Results    []Result `json:"results"`
+	RTLSpeedup float64 `json:"rtl_compile_speedup"`
+	// SelfProfOverhead is the whole-simulator cost of attaching the
+	// self-profiler to every point of the 12-config DSE grid, as a
+	// machine-relative wall-time ratio (1.00 = free), measured by
+	// MeasureSelfProfOverhead's drift-cancelling paired passes rather than
+	// by dividing the independent sweep/profiled and sweep/cold rows. The
+	// budget is <5% (see sim.DefaultProfileEvery); Compare gates growth
+	// beyond the committed baseline. queue/profiled vs queue/calendar
+	// bounds the same hook from above on empty event bodies.
+	SelfProfOverhead float64  `json:"selfprof_overhead"`
+	Results          []Result `json:"results"`
 }
 
 // Collect runs the whole suite through testing.Benchmark and assembles the
@@ -60,6 +69,8 @@ func Collect(logf func(format string, args ...any)) Report {
 	if fast, slow := ns["rtl/bytecode"], ns["rtl/closure"]; fast > 0 {
 		rep.RTLSpeedup = slow / fast
 	}
+	logf("measuring selfprof overhead (paired passes) ...")
+	rep.SelfProfOverhead = MeasureSelfProfOverhead(5, logf)
 	return rep
 }
 
@@ -87,7 +98,9 @@ func ParseReport(data []byte) (Report, error) {
 //     by more than threshold (plus a small absolute floor so a 0→1 alloc
 //     blip on a tiny benchmark doesn't fail spuriously);
 //   - CalendarSpeedup and RTLSpeedup: same-run ratios, must not fall more
-//     than threshold below baseline.
+//     than threshold below baseline;
+//   - SelfProfOverhead: a same-run ratio where smaller is better, must not
+//     climb more than threshold above baseline.
 //
 // Raw ns/op is informational only — a CI runner is not the machine the
 // baseline was measured on.
@@ -141,6 +154,21 @@ func Compare(current, baseline Report, threshold float64) []string {
 			problems = append(problems, fmt.Sprintf(
 				"rtl compile speedup %.2fx fell below baseline %.2fx - %d%% = %.2fx",
 				current.RTLSpeedup, baseline.RTLSpeedup, int(threshold*100), floor))
+		}
+	}
+	if baseline.SelfProfOverhead > 0 {
+		// Even with paired-pass drift cancellation the sweep ratio carries a
+		// few percent of host noise, so the ceiling never drops below
+		// 1 + 2*threshold: the gate exists to catch the dispatch hook
+		// becoming structurally more expensive, not single-percent wobble.
+		ceiling := baseline.SelfProfOverhead * (1 + threshold)
+		if floor := 1 + 2*threshold; ceiling < floor {
+			ceiling = floor
+		}
+		if current.SelfProfOverhead > ceiling {
+			problems = append(problems, fmt.Sprintf(
+				"selfprof overhead %.3fx climbed above limit %.3fx (baseline %.3fx, threshold %d%%)",
+				current.SelfProfOverhead, ceiling, baseline.SelfProfOverhead, int(threshold*100)))
 		}
 	}
 	return problems

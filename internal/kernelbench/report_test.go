@@ -1,0 +1,103 @@
+package kernelbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineReport() Report {
+	return Report{
+		CalendarSpeedup:  4.0,
+		RTLSpeedup:       2.5,
+		SelfProfOverhead: 1.05,
+		Results: []Result{
+			{Name: "queue/calendar", AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "queue/profiled", AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "sweep/cold", AllocsPerOp: 100_000, BytesPerOp: 50_000_000},
+		},
+	}
+}
+
+// problemsContaining filters Compare output to messages mentioning substr.
+func problemsContaining(problems []string, substr string) []string {
+	var out []string
+	for _, p := range problems {
+		if strings.Contains(p, substr) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base := baselineReport()
+	if problems := Compare(base, base, 0.10); len(problems) != 0 {
+		t.Fatalf("identical reports should compare clean: %v", problems)
+	}
+}
+
+func TestCompareGatesRatios(t *testing.T) {
+	base := baselineReport()
+
+	slow := base
+	slow.CalendarSpeedup = 3.0 // below 4.0 - 10%
+	if p := problemsContaining(Compare(slow, base, 0.10), "calendar speedup"); len(p) != 1 {
+		t.Errorf("calendar speedup fall not flagged: %v", Compare(slow, base, 0.10))
+	}
+
+	heavy := base
+	heavy.SelfProfOverhead = 1.30 // above both 1.05+10% and the 1.20 noise floor
+	if p := problemsContaining(Compare(heavy, base, 0.10), "selfprof overhead"); len(p) != 1 {
+		t.Errorf("selfprof overhead climb not flagged: %v", Compare(heavy, base, 0.10))
+	}
+
+	wobble := base
+	wobble.SelfProfOverhead = 1.18 // above 1.05+10% but inside the noise floor
+	if problems := Compare(wobble, base, 0.10); len(problems) != 0 {
+		t.Errorf("within-noise-floor overhead flagged: %v", problems)
+	}
+
+	// Within threshold in the harmless direction: a *lower* overhead and a
+	// *higher* speedup must never fail.
+	better := base
+	better.CalendarSpeedup = 9.0
+	better.SelfProfOverhead = 1.0
+	if problems := Compare(better, base, 0.10); len(problems) != 0 {
+		t.Errorf("improvements flagged as regressions: %v", problems)
+	}
+}
+
+func TestCompareGatesNameSetBothWays(t *testing.T) {
+	base := baselineReport()
+
+	extra := base
+	extra.Results = append([]Result{}, base.Results...)
+	extra.Results = append(extra.Results, Result{Name: "queue/new"})
+	if p := problemsContaining(Compare(extra, base, 0.10), "missing from baseline"); len(p) != 1 {
+		t.Errorf("new benchmark not flagged: %v", Compare(extra, base, 0.10))
+	}
+
+	missing := base
+	missing.Results = base.Results[:2]
+	if p := problemsContaining(Compare(missing, base, 0.10), "not measured"); len(p) != 1 {
+		t.Errorf("dropped benchmark not flagged: %v", Compare(missing, base, 0.10))
+	}
+}
+
+func TestCompareGatesAllocGrowth(t *testing.T) {
+	base := baselineReport()
+	grown := base
+	grown.Results = append([]Result{}, base.Results...)
+	grown.Results[2].AllocsPerOp = 150_000 // +50% over sweep/cold's 100k
+	problems := Compare(grown, base, 0.10)
+	if p := problemsContaining(problems, "allocs/op"); len(p) != 1 {
+		t.Errorf("alloc growth not flagged: %v", problems)
+	}
+	// The absolute floor tolerates a 0 -> 4 blip on tiny benchmarks.
+	blip := base
+	blip.Results = append([]Result{}, base.Results...)
+	blip.Results[0].AllocsPerOp = 4
+	if problems := Compare(blip, base, 0.10); len(problems) != 0 {
+		t.Errorf("within-floor blip flagged: %v", problems)
+	}
+}

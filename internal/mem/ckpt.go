@@ -143,7 +143,7 @@ func (d *DRAMCtrl) RestoreState(r *ckpt.Reader) error {
 	d.pendingReads = nil
 	for i := 0; i < n && r.Err() == nil; i++ {
 		pr := &dramPendingRead{pkt: port.LoadPacket(r), arrived: sim.Tick(r.U64())}
-		pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) })
+		pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) }).SetOwner(d.ownReadDone)
 		d.pendingReads = append(d.pendingReads, pr)
 		d.q.RestoreEvent(r, pr.ev)
 	}

@@ -35,6 +35,11 @@ type DRAMCtrl struct {
 	// trace is the Mem debug-flag logger (nil = off; see AttachTracer).
 	trace *obs.Logger
 
+	// ownReadDone and ownIssue are self-profiler attribution owners for the
+	// controller's completion and channel-issue events.
+	ownReadDone sim.OwnerID
+	ownIssue    sim.OwnerID
+
 	stats DRAMStats
 }
 
@@ -105,6 +110,8 @@ type dramChannel struct {
 // NewDRAMCtrl builds a controller on the given event queue and storage.
 func NewDRAMCtrl(cfg DRAMConfig, q *sim.EventQueue, store *Storage) *DRAMCtrl {
 	d := &DRAMCtrl{cfg: cfg, q: q, store: store}
+	d.ownReadDone = q.Owner(cfg.Name, "readDone")
+	d.ownIssue = q.Owner(cfg.Name, "issue")
 	d.prt = port.NewResponsePort(cfg.Name, d)
 	d.rq = port.NewRespQueue(cfg.Name, q, d.prt)
 	for i := 0; i < cfg.Channels; i++ {
@@ -112,7 +119,7 @@ func NewDRAMCtrl(cfg DRAMConfig, q *sim.EventQueue, store *Storage) *DRAMCtrl {
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
 		}
-		ch.issueEv = sim.NewEvent(cfg.Name+".issue", ch.issue)
+		ch.issueEv = sim.NewEvent(cfg.Name+".issue", ch.issue).SetOwner(d.ownIssue)
 		d.chans = append(d.chans, ch)
 	}
 	return d
@@ -342,7 +349,7 @@ func (d *DRAMCtrl) scheduleReadDone(pkt *port.Packet, arrived sim.Tick, when sim
 		pr.arrived = arrived
 	} else {
 		pr = &dramPendingRead{pkt: pkt, arrived: arrived}
-		pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) })
+		pr.ev = sim.NewEvent(d.cfg.Name+".readDone", func() { d.readDone(pr) }).SetOwner(d.ownReadDone)
 	}
 	d.pendingReads = append(d.pendingReads, pr)
 	d.q.Schedule(pr.ev, when)

@@ -80,14 +80,18 @@ func New(cfg Config, q *sim.EventQueue, nFront, nDown int) *Xbar {
 		i := i
 		fp := port.NewResponsePort(fmt.Sprintf("%s.front[%d]", cfg.Name, i), &xbarFront{x, i})
 		x.fronts = append(x.fronts, fp)
-		x.respQs = append(x.respQs, port.NewRespQueue(fmt.Sprintf("%s.front[%d]", cfg.Name, i), q, fp))
+		frq := port.NewRespQueue(fmt.Sprintf("%s.front[%d]", cfg.Name, i), q, fp)
+		frq.SetOwner(q.Owner(cfg.Name, "front-drain"))
+		x.respQs = append(x.respQs, frq)
 		x.frontStates = append(x.frontStates, &frontState{front: i})
 	}
 	for i := 0; i < nDown; i++ {
 		i := i
 		dp := port.NewRequestPort(fmt.Sprintf("%s.down[%d]", cfg.Name, i), &xbarDown{x, i})
 		x.downs = append(x.downs, dp)
-		x.reqQs = append(x.reqQs, port.NewReqQueue(fmt.Sprintf("%s.down[%d]", cfg.Name, i), q, dp))
+		drq := port.NewReqQueue(fmt.Sprintf("%s.down[%d]", cfg.Name, i), q, dp)
+		drq.SetOwner(q.Owner(cfg.Name, "down-drain"))
+		x.reqQs = append(x.reqQs, drq)
 	}
 	return x
 }

@@ -105,6 +105,50 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// Quantile returns the q-th quantile (q in [0, 1]) estimated by linear
+// interpolation inside the containing log-2 bucket: the target rank
+// q*Count() is located by walking the cumulative bucket counts, and the
+// result is lo + (rank-cumBefore)/bucketCount * (hi-lo) for the bucket's
+// value range [lo, hi). The estimate is clamped to the observed [Min, Max],
+// so a quantile landing in the min or max sample's bucket never extrapolates
+// past a value that was actually seen. q <= 0 returns Min, q >= 1 returns
+// Max, and an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(i-1))
+			v := lo + (target-cum)/fc*lo
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+		cum += fc
+	}
+	return float64(h.max)
+}
+
 // SaveState implements ckpt.Checkpointable.
 func (h *Histogram) SaveState(w *ckpt.Writer) error {
 	w.Section("obs.hist")

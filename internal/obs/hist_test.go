@@ -52,6 +52,51 @@ func TestHistogramPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileInterpolation pins the interpolated quantile against
+// hand-computed exact values. Samples {4, 8, 12, 16}: bucket 3 holds {4}
+// (range [4,8)), bucket 4 holds {8, 12} (range [8,16)), bucket 5 holds {16}
+// (range [16,32)).
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{4, 8, 12, 16} {
+		h.Observe(v)
+	}
+	// q=0.5: rank 2 lands in bucket 4 with cumBefore=1, count=2:
+	// 8 + (2-1)/2 * 8 = 12 exactly.
+	if got := h.Quantile(0.5); got != 12 {
+		t.Fatalf("Quantile(0.5) = %v, want 12", got)
+	}
+	// q=0.25: rank 1 lands in bucket 3 (cumBefore=0, count=1):
+	// 4 + 1/1 * 4 = 8, clamped nowhere (8 <= max).
+	if got := h.Quantile(0.25); got != 8 {
+		t.Fatalf("Quantile(0.25) = %v, want 8", got)
+	}
+	// q=0.95: rank 3.8 lands in bucket 5: 16 + 0.8*16 = 28.8, clamped to
+	// max=16 because nothing larger than 16 was ever observed.
+	if got := h.Quantile(0.95); got != 16 {
+		t.Fatalf("Quantile(0.95) = %v, want 16 (clamped to max)", got)
+	}
+	// Edge behaviour: q<=0 -> min, q>=1 -> max, empty -> 0.
+	if got := h.Quantile(0); got != 4 {
+		t.Fatalf("Quantile(0) = %v, want min 4", got)
+	}
+	if got := h.Quantile(1); got != 16 {
+		t.Fatalf("Quantile(1) = %v, want max 16", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	// Zero samples report quantile 0 (bucket 0 has no width to
+	// interpolate over).
+	var zeros Histogram
+	zeros.Observe(0)
+	zeros.Observe(0)
+	if got := zeros.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero Quantile(0.5) = %v, want 0", got)
+	}
+}
+
 func TestHistogramMergeEqualsCombinedObservation(t *testing.T) {
 	var a, b, all Histogram
 	for i := uint64(0); i < 100; i++ {

@@ -73,7 +73,7 @@ func (d *IntervalDumper) Start() {
 	if d.format == "csv" {
 		fmt.Fprintf(d.w, "tick,interval,%s\n", strings.Join(d.names, ","))
 	}
-	d.ev = sim.NewEventPri("obs.interval", sim.PriStats, d.tick)
+	d.ev = sim.NewEventPri("obs.interval", sim.PriStats, d.tick).SetOwner(d.q.Owner("obs", "interval"))
 	d.q.Schedule(d.ev, d.q.Now()+d.interval)
 }
 

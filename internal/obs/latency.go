@@ -115,7 +115,10 @@ func (p *LatencyProfile) Taps() []*LatencyTap { return append([]*LatencyTap(nil)
 func (p *LatencyProfile) Lookup(name string) *LatencyTap { return p.byName[name] }
 
 // Register adds each tap's summary statistics to the registry under
-// obs.lat.<tap>.{samples,mean,min,max,p99}.
+// obs.lat.<tap>.{samples,mean,min,max,p50,p95,p99}. The quantiles are
+// interpolated within their log-2 bucket (Histogram.Quantile), so interval
+// stat dumps and the sweepd metrics endpoint see smooth estimates rather
+// than power-of-two bucket tops.
 func (p *LatencyProfile) Register(r *stats.Registry) {
 	for _, t := range p.taps {
 		t := t
@@ -128,8 +131,12 @@ func (p *LatencyProfile) Register(r *stats.Registry) {
 			func() float64 { return float64(t.hist.Min()) })
 		r.Register(base+".max", "max packet latency (ticks) at "+t.name,
 			func() float64 { return float64(t.hist.Max()) })
-		r.Register(base+".p99", "p99 packet latency upper bound (ticks) at "+t.name,
-			func() float64 { return float64(t.hist.Percentile(99)) })
+		r.Register(base+".p50", "median packet latency (ticks, interpolated) at "+t.name,
+			func() float64 { return t.hist.Quantile(0.50) })
+		r.Register(base+".p95", "p95 packet latency (ticks, interpolated) at "+t.name,
+			func() float64 { return t.hist.Quantile(0.95) })
+		r.Register(base+".p99", "p99 packet latency (ticks, interpolated) at "+t.name,
+			func() float64 { return t.hist.Quantile(0.99) })
 	}
 }
 

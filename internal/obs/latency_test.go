@@ -117,7 +117,8 @@ func TestLatencyProfileRegisterStats(t *testing.T) {
 	p.Register(reg)
 	for _, name := range []string{
 		"obs.lat.a.samples", "obs.lat.a.mean", "obs.lat.a.min",
-		"obs.lat.a.max", "obs.lat.a.p99", "obs.lat.b.samples",
+		"obs.lat.a.max", "obs.lat.a.p50", "obs.lat.a.p95",
+		"obs.lat.a.p99", "obs.lat.b.samples",
 	} {
 		if _, ok := reg.Get(name); !ok {
 			t.Fatalf("stat %s not registered", name)

@@ -27,12 +27,17 @@ type queuedPkt struct {
 	when sim.Tick
 }
 
-// NewRespQueue creates a queue draining through port on event queue q.
+// NewRespQueue creates a queue draining through port on event queue q. The
+// drain event is attributed to owner (name, "drain") by default; owners that
+// prefer a cleaner attribution label can override it with SetOwner.
 func NewRespQueue(name string, q *sim.EventQueue, port *ResponsePort) *RespQueue {
 	rq := &RespQueue{q: q, port: port}
-	rq.ev = sim.NewEvent(name+".drain", rq.drain)
+	rq.ev = sim.NewEvent(name+".drain", rq.drain).SetOwner(q.Owner(name, "drain"))
 	return rq
 }
+
+// SetOwner re-tags the drain event's self-profiler attribution owner.
+func (rq *RespQueue) SetOwner(id sim.OwnerID) { rq.ev.SetOwner(id) }
 
 // Schedule queues pkt (which must already be a response) for delivery at the
 // given absolute tick.
@@ -119,12 +124,16 @@ type ReqQueue struct {
 	blocked bool
 }
 
-// NewReqQueue creates a queue transmitting through port.
+// NewReqQueue creates a queue transmitting through port. The drain event is
+// attributed to owner (name, "drain") by default; see RespQueue.SetOwner.
 func NewReqQueue(name string, q *sim.EventQueue, port *RequestPort) *ReqQueue {
 	rq := &ReqQueue{q: q, port: port}
-	rq.ev = sim.NewEvent(name+".drain", rq.drain)
+	rq.ev = sim.NewEvent(name+".drain", rq.drain).SetOwner(q.Owner(name, "drain"))
 	return rq
 }
+
+// SetOwner re-tags the drain event's self-profiler attribution owner.
+func (rq *ReqQueue) SetOwner(id sim.OwnerID) { rq.ev.SetOwner(id) }
 
 // Schedule queues a request for transmission at the given absolute tick.
 func (rq *ReqQueue) Schedule(pkt *Packet, when sim.Tick) {

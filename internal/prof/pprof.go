@@ -1,0 +1,164 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof writes the report as a gzipped pprof profile (the profile.proto
+// wire format `go tool pprof` and the pprof web UI consume). Each sample is a
+// two-frame stack — component as the root frame, kind as the leaf — with two
+// values: the exact event/phase count and the sampled host nanoseconds.
+//
+// The encoder below hand-writes the protobuf wire format; the profile schema
+// is tiny and stable, and the repository deliberately takes no external
+// dependencies for it.
+func (r *Report) WritePprof(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(r.marshalPprof()); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// marshalPprof encodes the profile.proto message.
+func (r *Report) marshalPprof() []byte {
+	var b protoBuf
+
+	// String table. Index 0 must be the empty string.
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// sample_type: (events, count), (time, nanoseconds).
+	evType := intern("events")
+	evUnit := intern("count")
+	tmType := intern("time")
+	tmUnit := intern("nanoseconds")
+
+	// Functions and locations: one of each per unique frame string. Function
+	// and location IDs must be nonzero.
+	type frame struct{ fnID, locID uint64 }
+	frames := map[string]frame{}
+	var frameOrder []string
+	frameFor := func(name string) frame {
+		if f, ok := frames[name]; ok {
+			return f
+		}
+		id := uint64(len(frames) + 1)
+		f := frame{fnID: id, locID: id}
+		frames[name] = f
+		frameOrder = append(frameOrder, name)
+		intern(name)
+		return f
+	}
+
+	// Samples: leaf-first location order (kind, then component).
+	type sampleRec struct {
+		locs   []uint64
+		values [2]int64
+	}
+	var recs []sampleRec
+	for _, s := range r.Sorted() {
+		var locs []uint64
+		if s.Kind != "" {
+			locs = append(locs, frameFor(s.Kind).locID)
+		}
+		comp := s.Component
+		if comp == "" {
+			comp = "(unattributed)"
+		}
+		locs = append(locs, frameFor(comp).locID)
+		recs = append(recs, sampleRec{locs: locs, values: [2]int64{int64(s.Events), s.HostNS}})
+	}
+
+	// Field 1: sample_type (ValueType{type=1, unit=2}).
+	var vt protoBuf
+	vt.varintField(1, uint64(evType))
+	vt.varintField(2, uint64(evUnit))
+	b.bytesField(1, vt.buf)
+	vt.buf = vt.buf[:0]
+	vt.varintField(1, uint64(tmType))
+	vt.varintField(2, uint64(tmUnit))
+	b.bytesField(1, vt.buf)
+
+	// Field 2: samples (Sample{location_id=1 packed, value=2 packed}).
+	for _, rec := range recs {
+		var sb, pk protoBuf
+		for _, l := range rec.locs {
+			pk.varint(l)
+		}
+		sb.bytesField(1, pk.buf)
+		pk.buf = pk.buf[:0]
+		pk.varint(uint64(rec.values[0]))
+		pk.varint(uint64(rec.values[1]))
+		sb.bytesField(2, pk.buf)
+		b.bytesField(2, sb.buf)
+	}
+
+	// Field 4: locations (Location{id=1, line=4 -> Line{function_id=1}}).
+	for _, name := range frameOrder {
+		f := frames[name]
+		var lb, ln protoBuf
+		lb.varintField(1, f.locID)
+		ln.varintField(1, f.fnID)
+		lb.bytesField(4, ln.buf)
+		b.bytesField(4, lb.buf)
+	}
+
+	// Field 5: functions (Function{id=1, name=2, system_name=3}).
+	for _, name := range frameOrder {
+		f := frames[name]
+		nameIdx := uint64(strIdx[name])
+		var fb protoBuf
+		fb.varintField(1, f.fnID)
+		fb.varintField(2, nameIdx)
+		fb.varintField(3, nameIdx)
+		b.bytesField(5, fb.buf)
+	}
+
+	// Field 6: string table.
+	for _, s := range strs {
+		b.bytesField(6, []byte(s))
+	}
+
+	// Field 10: duration_nanos.
+	if r.WallNS > 0 {
+		b.varintField(10, uint64(r.WallNS))
+	}
+	return b.buf
+}
+
+// protoBuf is a minimal protobuf wire-format writer: varints and
+// length-delimited fields are all the profile schema needs.
+type protoBuf struct{ buf []byte }
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.buf = append(b.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	b.buf = append(b.buf, byte(v))
+}
+
+// varintField writes a varint-typed (wire type 0) field.
+func (b *protoBuf) varintField(field int, v uint64) {
+	b.varint(uint64(field)<<3 | 0)
+	b.varint(v)
+}
+
+// bytesField writes a length-delimited (wire type 2) field.
+func (b *protoBuf) bytesField(field int, p []byte) {
+	b.varint(uint64(field)<<3 | 2)
+	b.varint(uint64(len(p)))
+	b.buf = append(b.buf, p...)
+}

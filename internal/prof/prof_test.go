@@ -1,0 +1,204 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Samples: []Sample{
+			{Component: "nvdla0", Kind: "tick", Events: 1000, HostNS: 8_000_000},
+			{Component: "DDR4-4ch", Kind: "issue", Events: 500, HostNS: 1_500_000},
+			{Component: "mem_xbar", Kind: "front-drain", Events: 300, HostNS: 500_000},
+		},
+		WallNS: 10_000_000,
+	}
+}
+
+func TestMergeSumsByOwner(t *testing.T) {
+	var agg Report
+	agg.Merge(sampleReport())
+	agg.Merge(sampleReport())
+	agg.Merge(nil) // nil is a no-op
+	if agg.TotalEvents() != 2*1800 {
+		t.Fatalf("merged events = %d, want %d", agg.TotalEvents(), 2*1800)
+	}
+	if len(agg.Samples) != 3 {
+		t.Fatalf("merge duplicated owners: %d samples, want 3", len(agg.Samples))
+	}
+	if agg.WallNS != 20_000_000 {
+		t.Fatalf("merged wall = %d", agg.WallNS)
+	}
+	for _, s := range agg.Samples {
+		if s.Component == "nvdla0" && s.Events != 2000 {
+			t.Fatalf("nvdla0 events = %d, want 2000", s.Events)
+		}
+	}
+}
+
+func TestCloneIsDeepAndNilSafe(t *testing.T) {
+	var nilRep *Report
+	if nilRep.Clone() != nil {
+		t.Fatal("nil Clone should stay nil")
+	}
+	orig := sampleReport()
+	c := orig.Clone()
+	c.Samples[0].Events = 1
+	if orig.Samples[0].Events == 1 {
+		t.Fatal("Clone shares sample storage with the original")
+	}
+}
+
+func TestTableSharesSumToOne(t *testing.T) {
+	r := sampleReport()
+	for _, k := range []int{0, 1, 2, 3, 100} {
+		rows := r.Table(k)
+		var sum float64
+		for _, row := range rows {
+			sum += row.Share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("Table(%d) shares sum to %v, want 1", k, sum)
+		}
+	}
+	// Top-1 truncation must absorb the rest into an "(other)" row.
+	rows := r.Table(1)
+	if len(rows) != 2 || rows[1].Component != "(other)" {
+		t.Fatalf("Table(1) = %+v, want one row plus (other)", rows)
+	}
+	if rows[0].Component != "nvdla0" {
+		t.Fatalf("Table(1) top row = %s, want nvdla0 (largest host time)", rows[0].Component)
+	}
+	if rows[1].Events != 800 {
+		t.Fatalf("(other) events = %d, want 800", rows[1].Events)
+	}
+}
+
+func TestTableFallsBackToEventShares(t *testing.T) {
+	// No sampled time at all (a very short run): shares come from counts.
+	r := &Report{Samples: []Sample{
+		{Component: "a", Kind: "x", Events: 3},
+		{Component: "b", Kind: "y", Events: 1},
+	}}
+	rows := r.Table(0)
+	if math.Abs(rows[0].Share-0.75) > 1e-9 {
+		t.Fatalf("event-share fallback: top share %v, want 0.75", rows[0].Share)
+	}
+}
+
+func TestWriteFoldedFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("folded output has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	// Sorted by host time: nvdla0 first, microsecond values.
+	if lines[0] != "nvdla0;tick 8000" {
+		t.Fatalf("folded line = %q, want %q", lines[0], "nvdla0;tick 8000")
+	}
+	for _, l := range lines {
+		if len(strings.Fields(l)) != 2 {
+			t.Fatalf("folded line %q is not 'stack value'", l)
+		}
+	}
+}
+
+func TestWritePprofIsGzippedProto(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty profile payload")
+	}
+	// The string table must carry every frame name.
+	for _, want := range []string{"nvdla0", "tick", "DDR4-4ch", "mem_xbar"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("profile missing string %q", want)
+		}
+	}
+}
+
+func TestExportSelectsFormatByExtension(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleReport()
+
+	var table bytes.Buffer
+	if err := r.Export("", &table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "nvdla0/tick") {
+		t.Fatalf("empty path did not render a table:\n%s", table.String())
+	}
+
+	folded := filepath.Join(dir, "out.folded")
+	if err := r.Export(folded, nil); err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := os.ReadFile(folded)
+	if !strings.HasPrefix(string(fb), "nvdla0;tick ") {
+		t.Fatalf("folded export content: %q", fb)
+	}
+
+	pb := filepath.Join(dir, "out.pb.gz")
+	if err := r.Export(pb, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(pb)
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("pb.gz export is not gzip (magic %x)", raw[:2])
+	}
+}
+
+func TestPromNameSanitises(t *testing.T) {
+	cases := map[string]string{
+		"sweepd.points.pending": "sweepd_points_pending",
+		"host.ckpt.hit":         "host_ckpt_hit",
+		"obs.lat.l2-llc.p99":    "obs_lat_l2_llc_p99",
+		"9lives":                "_9lives",
+		"ok_name:x":             "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromEscapesLabels(t *testing.T) {
+	r := &Report{Samples: []Sample{
+		{Component: `c"omp\one`, Kind: "k\nind", Events: 1, HostNS: 1},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf, "gem5rtl_"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `component="c\"omp\\one"`) {
+		t.Errorf("quote/backslash not escaped exactly once:\n%s", out)
+	}
+	if !strings.Contains(out, `kind="k\nind"`) {
+		t.Errorf("newline not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "\n\n\n") || strings.Count(out, "# TYPE gem5rtl_selfprof_events_total counter") != 1 {
+		t.Errorf("family framing broken:\n%s", out)
+	}
+}

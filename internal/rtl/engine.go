@@ -3,6 +3,8 @@ package rtl
 import (
 	"fmt"
 	"sort"
+
+	"gem5rtl/internal/sim"
 )
 
 // Model is a compiled, simulatable instance of a Circuit — the analogue of a
@@ -41,6 +43,51 @@ type Model struct {
 	outputs map[string]SigID
 
 	vcd *VCDWriter
+
+	// Self-profiler phase attribution (AttachProfiler): when prof is
+	// non-nil, closureTick sub-attributes each cycle to the comb-settle,
+	// sequential-update and memory-write-port phases. Nil when profiling
+	// is off (the default) or when the backend sub-attributes itself.
+	prof    *sim.Profiler
+	ownComb sim.OwnerID
+	ownSeq  sim.OwnerID
+	ownMemw sim.OwnerID
+}
+
+// PhaseProfiled is implemented by engine backends that sub-attribute their
+// tick phases (comb settle, sequential update, memory write ports) to the
+// self-profiler themselves. Model.AttachProfiler forwards to it when present;
+// otherwise only the closure reference engine's phases are attributed.
+type PhaseProfiled interface {
+	AttachProfiler(p *sim.Profiler, comb, seq, memw sim.OwnerID)
+}
+
+// AttachProfiler enables per-phase self-profiling of this model's ticks:
+// host time inside Tick is sub-attributed to the given comb/seq/memw owners
+// so an RTL-heavy simulation point reads "nvdla0/rtl-comb" rather than just
+// "slow". Phase counts reflect the work the active engine really did (an
+// activity-gated backend enters fewer phases), while results stay bit-exact.
+func (m *Model) AttachProfiler(p *sim.Profiler, comb, seq, memw sim.OwnerID) {
+	if b, ok := m.backend.(PhaseProfiled); ok {
+		b.AttachProfiler(p, comb, seq, memw)
+		return
+	}
+	m.prof, m.ownComb, m.ownSeq, m.ownMemw = p, comb, seq, memw
+}
+
+// enterPhase switches self-profiler attribution to owner o (nil-safe).
+func (m *Model) enterPhase(o sim.OwnerID) sim.OwnerID {
+	if m.prof == nil {
+		return 0
+	}
+	return m.prof.Enter(o)
+}
+
+// exitPhase restores the owner saved by enterPhase (nil-safe).
+func (m *Model) exitPhase(prev sim.OwnerID) {
+	if m.prof != nil {
+		m.prof.Exit(prev)
+	}
 }
 
 // pendingMemWrite is a memory write captured with pre-edge values, applied
@@ -374,9 +421,12 @@ func (m *Model) Tick() {
 // closureTick is one clock cycle on the closure reference engine: eval,
 // capture with pre-edge values, commit, eval.
 func (m *Model) closureTick() {
+	prev := m.enterPhase(m.ownComb)
 	m.Eval()
+	m.exitPhase(prev)
 	// Capture next-state with pre-edge values (non-blocking semantics).
 	// memwBuf is reused across ticks so the hot path stays allocation-free.
+	prev = m.enterPhase(m.ownMemw)
 	m.memwBuf = m.memwBuf[:0]
 	for i := range m.memwFns {
 		w := &m.memwFns[i]
@@ -387,6 +437,8 @@ func (m *Model) closureTick() {
 			}
 		}
 	}
+	m.exitPhase(prev)
+	prev = m.enterPhase(m.ownSeq)
 	if m.nextBuf == nil || len(m.nextBuf) < len(m.seqFns) {
 		m.nextBuf = make([]uint64, len(m.seqFns))
 	}
@@ -400,7 +452,10 @@ func (m *Model) closureTick() {
 	for _, w := range m.memwBuf {
 		m.mems[w.mem][w.addr] = w.data
 	}
+	m.exitPhase(prev)
+	prev = m.enterPhase(m.ownComb)
 	m.Eval()
+	m.exitPhase(prev)
 }
 
 // eval evaluates an expression against current signal values.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gem5rtl/internal/rtl"
+	"gem5rtl/internal/sim"
 )
 
 // VM executes a compiled Program behind the rtl.Backend interface. The first
@@ -36,6 +37,12 @@ type VM struct {
 	memRun  []bool
 
 	skipped uint64
+
+	// Self-profiler phase attribution (AttachProfiler). Nil when off.
+	prof    *sim.Profiler
+	ownComb sim.OwnerID
+	ownSeq  sim.OwnerID
+	ownMemw sim.OwnerID
 }
 
 type memWrite struct {
@@ -87,6 +94,30 @@ func (v *VM) Invalidate() { v.allDirty = true }
 
 // Skipped reports how many sequential next-state evaluations were elided.
 func (v *VM) Skipped() uint64 { return v.skipped }
+
+// AttachProfiler implements rtl.PhaseProfiled: Tick sub-attributes its comb
+// settles, sequential captures/commits and memory write-port passes to the
+// given self-profiler owners. Phase counts reflect the work the VM really
+// performs — activity gating elides phases, so a quiet model charges almost
+// nothing — while simulation results remain bit-exact.
+func (v *VM) AttachProfiler(p *sim.Profiler, comb, seq, memw sim.OwnerID) {
+	v.prof, v.ownComb, v.ownSeq, v.ownMemw = p, comb, seq, memw
+}
+
+// enter switches self-profiler attribution to owner o (nil-safe).
+func (v *VM) enter(o sim.OwnerID) sim.OwnerID {
+	if v.prof == nil {
+		return 0
+	}
+	return v.prof.Enter(o)
+}
+
+// exit restores the owner saved by enter (nil-safe).
+func (v *VM) exit(prev sim.OwnerID) {
+	if v.prof != nil {
+		v.prof.Exit(prev)
+	}
+}
 
 func (v *VM) markSig(s uint32) { v.dirty[s>>6] |= 1 << (s & 63) }
 
@@ -148,7 +179,9 @@ func (v *VM) Tick() {
 	// external Eval). This is the steady state between event bursts.
 	if !v.allDirty && !inChanged && bitsetZero(v.dirty) && bitsetZero(v.memDirty) {
 		if v.extEval {
+			prev := v.enter(v.ownComb)
 			exec(v.p.Comb, v.regs, v.mems)
+			v.exit(prev)
 			v.extEval = false
 		}
 		v.skipped += uint64(len(v.p.Seqs))
@@ -156,7 +189,9 @@ func (v *VM) Tick() {
 	}
 
 	if v.allDirty || v.extEval || inChanged {
+		prev := v.enter(v.ownComb)
 		exec(v.p.Comb, v.regs, v.mems)
+		v.exit(prev)
 	}
 	v.extEval = false
 
@@ -164,6 +199,7 @@ func (v *VM) Tick() {
 	// memory whose ports' cones are all clean.
 	v.memwBuf = v.memwBuf[:0]
 	if len(v.p.MemWs) > 0 {
+		prev := v.enter(v.ownMemw)
 		for i := range v.memRun {
 			v.memRun[i] = v.allDirty
 		}
@@ -187,10 +223,12 @@ func (v *VM) Tick() {
 				}
 			}
 		}
+		v.exit(prev)
 	}
 
 	// Capture register next-state, skipping programs whose input cones are
 	// clean: the register then provably recomputes its current value.
+	prevSeq := v.enter(v.ownSeq)
 	for j := range v.p.Seqs {
 		sq := &v.p.Seqs[j]
 		if v.allDirty || v.coneDirty(sq.Cone, sq.MemCone) {
@@ -230,7 +268,10 @@ func (v *VM) Tick() {
 			changed = true
 		}
 	}
+	v.exit(prevSeq)
 	if changed {
+		prev := v.enter(v.ownComb)
 		exec(v.p.Comb, v.regs, v.mems)
+		v.exit(prev)
 	}
 }

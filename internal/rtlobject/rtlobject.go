@@ -218,12 +218,14 @@ func New(cfg Config, coreDom *sim.ClockDomain, w Wrapper) *RTLObject {
 		i := i
 		r.cpuPorts[i] = port.NewResponsePort(fmt.Sprintf("%s.cpu_side[%d]", cfg.Name, i), &cpuSide{r, i})
 		r.respQs[i] = port.NewRespQueue(fmt.Sprintf("%s.cpu_side[%d]", cfg.Name, i), r.q, r.cpuPorts[i])
+		r.respQs[i].SetOwner(r.q.Owner(cfg.Name, "resp-drain"))
 	}
 	for i := 0; i < NumMemPorts; i++ {
 		i := i
 		r.memPorts[i] = port.NewRequestPort(fmt.Sprintf("%s.mem_side[%d]", cfg.Name, i), &memSide{r, i})
 	}
 	r.ticker = sim.NewTicker(cfg.Name+".tick", r.dom, sim.PriDefault, r.tick)
+	r.ticker.SetOwner(r.q.Owner(cfg.Name, "tick"))
 	return r
 }
 

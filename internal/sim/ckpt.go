@@ -20,7 +20,34 @@ func (q *EventQueue) SaveState(w *ckpt.Writer) error {
 	w.U64(q.dispatched)
 	w.Bool(q.exitSet)
 	w.String(q.exitReason)
+	q.saveAttr(w)
 	return w.Err()
+}
+
+// saveAttr persists the self-profiler's exact per-owner event counts (host
+// times are machine-dependent and deliberately excluded), in deterministic
+// OwnerID order. With profiling off it writes an empty table.
+func (q *EventQueue) saveAttr(w *ckpt.Writer) {
+	if q.prof == nil {
+		w.U32(0)
+		return
+	}
+	n := uint32(0)
+	for _, c := range q.prof.counts {
+		if c != 0 {
+			n++
+		}
+	}
+	w.U32(n)
+	for id, c := range q.prof.counts {
+		if c == 0 {
+			continue
+		}
+		k := q.ownerKeys[id]
+		w.String(k.component)
+		w.String(k.kind)
+		w.U64(c)
+	}
 }
 
 // RestoreState loads the queue's clock and counters. It must run on a
@@ -39,6 +66,21 @@ func (q *EventQueue) RestoreState(r *ckpt.Reader) error {
 	q.dispatched = r.U64()
 	q.exitSet = r.Bool()
 	q.exitReason = r.String()
+	n := r.U32()
+	if n > 0 {
+		q.restoredAttr = make(map[ownerKey]uint64, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			comp := r.String()
+			kind := r.String()
+			q.restoredAttr[ownerKey{comp, kind}] += r.U64()
+		}
+		// A profiler attached before the restore folds the counts in now;
+		// otherwise AttachProfiler picks them up, and a profiling-off run
+		// simply discards them.
+		if q.prof != nil {
+			q.applyRestoredAttr()
+		}
+	}
 	return r.Err()
 }
 

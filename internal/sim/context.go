@@ -29,7 +29,7 @@ func (q *EventQueue) WatchContext(ctx context.Context, interval Tick) (stop func
 	if interval == 0 {
 		interval = DefaultCtxCheckInterval
 	}
-	e := NewEventPri("ctx-watch", PriSimExit, nil)
+	e := NewEventPri("ctx-watch", PriSimExit, nil).SetOwner(q.Owner("sim", "ctx-watch"))
 	e.fn = func() {
 		if ctx.Err() != nil {
 			q.ExitSimLoop(ExitReasonContext)

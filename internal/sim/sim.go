@@ -89,6 +89,10 @@ type Event struct {
 	next      *Event // intrusive link: calendar slot list, or queue freelist
 	scheduled bool
 	oneShot   bool
+	// owner attributes the event's dispatch time to a (component, kind)
+	// pair when a Profiler is attached; see SetOwner. Always tagged (one
+	// int32 store at creation), only read when profiling is on.
+	owner OwnerID
 }
 
 // Event.index sentinels.
@@ -193,6 +197,14 @@ type EventQueue struct {
 
 	// ref selects the reference pure-heap dispatcher (NewReferenceEventQueue).
 	ref bool
+
+	// Self-profiler state (prof.go). ownerKeys/ownerIDs intern attribution
+	// owners whether or not a profiler is attached, so owner IDs are fixed
+	// by deterministic Build order; prof is nil when profiling is off.
+	ownerKeys    []ownerKey
+	ownerIDs     map[ownerKey]OwnerID
+	prof         *Profiler
+	restoredAttr map[ownerKey]uint64
 }
 
 // NewEventQueue returns an empty queue positioned at tick 0.
@@ -405,6 +417,12 @@ func (q *EventQueue) ScheduleFunc(name string, when Tick, fn func()) *Event {
 // injections, delayed retries — where ScheduleFunc's per-call allocation
 // would accumulate.
 func (q *EventQueue) ScheduleOneShot(name string, when Tick, fn func()) {
+	q.ScheduleOneShotOwned(name, when, 0, fn)
+}
+
+// ScheduleOneShotOwned is ScheduleOneShot with an attribution owner for the
+// self-profiler; the pooled event carries the owner for this dispatch only.
+func (q *EventQueue) ScheduleOneShotOwned(name string, when Tick, owner OwnerID, fn func()) {
 	e := q.freeEvents
 	if e != nil {
 		q.freeEvents = e.next
@@ -415,6 +433,7 @@ func (q *EventQueue) ScheduleOneShot(name string, when Tick, fn func()) {
 	} else {
 		e = &Event{name: name, fn: fn, index: idxUnscheduled, oneShot: true}
 	}
+	e.owner = owner
 	q.Schedule(e, when)
 }
 
@@ -480,6 +499,9 @@ func (q *EventQueue) Step() bool {
 	e.scheduled = false
 	q.nearCount--
 	q.dispatched++
+	if p := q.prof; p != nil {
+		p.hit(e.owner)
+	}
 	e.fn()
 	if e.oneShot && !e.scheduled {
 		q.recycleEvent(e)
@@ -497,6 +519,9 @@ func (q *EventQueue) stepRef() bool {
 	q.now = e.when
 	e.scheduled = false
 	q.dispatched++
+	if p := q.prof; p != nil {
+		p.hit(e.owner)
+	}
 	e.fn()
 	if e.oneShot && !e.scheduled {
 		q.recycleEvent(e)

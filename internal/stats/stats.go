@@ -90,6 +90,17 @@ func (r *Registry) SnapshotSorted() []Sample {
 	return out
 }
 
+// SortedValues returns every registered statistic in sorted-name order,
+// descriptions included — the form exporters that need metadata (the
+// Prometheus text renderer) consume.
+func (r *Registry) SortedValues() []Value {
+	out := make([]Value, 0, len(r.values))
+	for _, name := range r.Names() {
+		out = append(out, r.values[r.byName[name]])
+	}
+	return out
+}
+
 // Dump writes all statistics in gem5's "name value # desc" format, sorted.
 func (r *Registry) Dump(w io.Writer) {
 	fmt.Fprintln(w, "---------- Begin Simulation Statistics ----------")

@@ -1,0 +1,166 @@
+package sweepd
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+]?([0-9.eE+-]+|NaN|Inf)$`)
+)
+
+// validateProm checks every line of a Prometheus text-exposition body and
+// returns the set of sample metric names seen.
+func validateProm(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	line := 0
+	for sc.Scan() {
+		line++
+		s := sc.Text()
+		switch {
+		case s == "":
+		case strings.HasPrefix(s, "# HELP"):
+			if !promHelpRe.MatchString(s) {
+				t.Errorf("line %d: malformed HELP: %q", line, s)
+			}
+		case strings.HasPrefix(s, "# TYPE"):
+			if !promTypeRe.MatchString(s) {
+				t.Errorf("line %d: malformed TYPE: %q", line, s)
+			}
+		case strings.HasPrefix(s, "#"):
+		default:
+			if !promSampleRe.MatchString(s) {
+				t.Errorf("line %d: malformed sample: %q", line, s)
+				continue
+			}
+			name := s
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			names[name] = true
+		}
+	}
+	if line == 0 {
+		t.Fatal("metrics body is empty")
+	}
+	return names
+}
+
+// TestMetricsEndpoint submits one profiled point to a served sweep and
+// scrapes /v1/metrics: the body must be well-formed Prometheus text format
+// and carry both the registry gauges (queue depths, retry/quarantine/cache
+// counters, worker utilization) and the aggregated selfprof counter
+// families with component/kind labels.
+func TestMetricsEndpoint(t *testing.T) {
+	s, err := New(Config{
+		Workers:     2,
+		StoreDir:    t.TempDir(),
+		SelfProfile: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := experiments.DSEParams{Scale: 64, Limit: 8 * sim.Second}.
+		Spec("sanity3", 1, "DDR4-1ch", 64)
+	body, err := json.Marshal(SubmitRequest{Client: "metrics-test",
+		Specs: []experiments.RunSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAndWait(t, ts, string(body))
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	names := validateProm(t, text)
+
+	for _, want := range []string{
+		MetricsPrefix + "sweepd_points_pending",
+		MetricsPrefix + "sweepd_points_running",
+		MetricsPrefix + "sweepd_points_retrying",
+		MetricsPrefix + "sweepd_retries",
+		MetricsPrefix + "sweepd_quarantined",
+		MetricsPrefix + "sweepd_workers_live",
+		MetricsPrefix + "sweepd_workers_busy",
+		MetricsPrefix + "sweepd_workers_utilization",
+		MetricsPrefix + "selfprof_events_total",
+		MetricsPrefix + "selfprof_seconds_total",
+	} {
+		if !names[want] {
+			t.Errorf("metrics missing family %s (have %v)", want, names)
+		}
+	}
+	// The profiled point must have produced labelled attribution samples.
+	if !strings.Contains(text, MetricsPrefix+`selfprof_events_total{component="`) {
+		t.Error("selfprof_events_total has no labelled samples")
+	}
+
+	// The aggregated report snapshot is also available programmatically and
+	// must be non-empty after a profiled point.
+	rep := s.Attr()
+	if rep == nil || rep.TotalEvents() == 0 {
+		t.Fatalf("server attribution snapshot empty: %+v", rep)
+	}
+}
+
+// TestMetricsEndpointUnprofiled checks the off path: without SelfProfile the
+// endpoint still serves well-formed gauges and simply omits the selfprof
+// families.
+func TestMetricsEndpointUnprofiled(t *testing.T) {
+	s, err := New(Config{Workers: 1, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	names := validateProm(t, sb.String())
+	if !names[MetricsPrefix+"sweepd_points_pending"] {
+		t.Error("registry gauges missing from unprofiled metrics")
+	}
+	if names[MetricsPrefix+"selfprof_events_total"] {
+		t.Error("selfprof families present without SelfProfile")
+	}
+}

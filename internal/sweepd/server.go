@@ -15,9 +15,13 @@ import (
 	"gem5rtl/internal/experiments"
 	"gem5rtl/internal/guard"
 	"gem5rtl/internal/obs"
+	"gem5rtl/internal/prof"
 	"gem5rtl/internal/sim"
 	"gem5rtl/internal/stats"
 )
+
+// MetricsPrefix namespaces every family the metrics endpoint exposes.
+const MetricsPrefix = "gem5rtl_"
 
 // Config tunes a sweep server. The zero value is a usable in-memory server
 // with runtime.NumCPU() workers, default retries and no warm start.
@@ -66,6 +70,13 @@ type Config struct {
 	// StreamPeriod is the progress stream's record period (0 = 1s). The e2e
 	// tests shorten it so streams produce records quickly.
 	StreamPeriod time.Duration
+	// SelfProfile, when > 0, attaches the event-kernel self-profiler to
+	// every simulated point (clock-read cadence in dispatches; use
+	// sim.DefaultProfileEvery) and aggregates the per-component attribution
+	// across points into the /v1/metrics selfprof families. Profiling is
+	// observational — results and their canonical encoding are unchanged.
+	// Ignored when RunPoint overrides the executor.
+	SelfProfile int
 }
 
 // Server is the sweep service: an HTTP handler plus the worker pool behind
@@ -89,6 +100,11 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	started  bool
+
+	// attr aggregates per-point self-profiler attribution (Config.SelfProfile)
+	// across every simulated point since boot, for /v1/metrics.
+	attrMu sync.Mutex
+	attr   *prof.Report
 }
 
 // New builds a server: opens (and recovers) the result and poison stores and
@@ -124,7 +140,14 @@ func New(cfg Config) (*Server, error) {
 			opts = append(opts, experiments.WithWatchdog(guard.Config{}))
 		}
 		s.run = func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
-			return experiments.Run(ctx, spec, opts...)
+			ropts := opts
+			if cfg.SelfProfile > 0 {
+				// Per-call option composition keeps the shared opts slice free
+				// of per-point sinks; the sink merges under the server mutex.
+				ropts = append(append([]experiments.Option{}, opts...),
+					experiments.WithSelfProfile(cfg.SelfProfile, s.recordAttr))
+			}
+			return experiments.Run(ctx, spec, ropts...)
 		}
 	}
 	if cfg.Chaos != nil {
@@ -152,7 +175,38 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Register("sweepd.store.len", "results in the persistent store", func() float64 {
 		return float64(store.Len())
 	})
+	s.reg.Register("sweepd.workers.live", "worker goroutines alive", func() float64 {
+		return float64(s.live.Load())
+	})
+	s.reg.Register("sweepd.workers.busy", "workers executing a point right now", func() float64 {
+		return float64(s.busy.Load())
+	})
+	s.reg.Register("sweepd.workers.utilization", "fraction of the worker pool executing a point", func() float64 {
+		return float64(s.busy.Load()) / float64(s.cfg.Workers)
+	})
 	return s, nil
+}
+
+// recordAttr folds one point's self-profiler attribution report into the
+// server-wide aggregate that /v1/metrics serves.
+func (s *Server) recordAttr(rep *prof.Report) {
+	if rep == nil {
+		return
+	}
+	s.attrMu.Lock()
+	if s.attr == nil {
+		s.attr = &prof.Report{}
+	}
+	s.attr.Merge(rep)
+	s.attrMu.Unlock()
+}
+
+// Attr returns a snapshot of the aggregated self-profiler attribution, or nil
+// when profiling is off or no point has completed yet.
+func (s *Server) Attr() *prof.Report {
+	s.attrMu.Lock()
+	defer s.attrMu.Unlock()
+	return s.attr.Clone()
 }
 
 // Start launches the worker pool. Idempotent.
@@ -241,6 +295,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/status", s.handleServerStatus)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantineList)
 	mux.HandleFunc("DELETE /v1/quarantine/{fp}", s.handleUnquarantine)
@@ -405,6 +460,23 @@ func (s *Server) handleServerStatus(w http.ResponseWriter, r *http.Request) {
 		Draining: draining, Workers: s.cfg.Workers,
 		CkptCache: CkptCacheCounts{Hits: hits, Misses: misses, Stale: stale, Corrupt: corrupt},
 	})
+}
+
+// handleMetrics serves the fleet metrics plane in the Prometheus text
+// exposition format: every registry statistic (queue depths, retry and
+// quarantine counters, checkpoint-cache effectiveness, worker utilization)
+// as a gauge family, plus — when Config.SelfProfile is on — the aggregated
+// per-component attribution counter families. The body is rendered to a
+// buffer first so a slow client can never block the stats registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	_ = prof.WritePromRegistry(&buf, MetricsPrefix, s.reg)
+	if rep := s.Attr(); rep != nil {
+		_ = rep.WriteProm(&buf, MetricsPrefix)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

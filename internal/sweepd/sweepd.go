@@ -21,6 +21,7 @@
 //	GET    /v1/jobs/{id}/stream  live JSONL progress (host interval records)
 //	DELETE /v1/jobs/{id}         cancel: queued points are skipped
 //	GET    /v1/status            server-wide status
+//	GET    /v1/metrics           Prometheus text-format fleet metrics
 //	GET    /v1/healthz           liveness/readiness probe (503 while draining)
 //	GET    /v1/quarantine        quarantined (poison) points + corrupt store files
 //	DELETE /v1/quarantine/{fp}   un-quarantine a point so it may simulate again
