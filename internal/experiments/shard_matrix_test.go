@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gem5rtl/internal/port"
+	"gem5rtl/internal/sim"
+	"gem5rtl/internal/stats"
+)
+
+// readKernelGolden loads the serial engine's pinned grid results.
+func readKernelGolden(t *testing.T) []kernelGoldenEntry {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join("testdata", "kernel_golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestKernelGoldenStateHash -update to capture): %v", err)
+	}
+	var want []kernelGoldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestShardedMatchesGoldenGrid replays the full 12-config NVDLA grid under
+// the bulk-synchronous sharded engine at 2 and 4 shards and checks every
+// point against the same golden file the serial engine pinned: final tick
+// and full-system StateHash must be bit-identical. Together with
+// TestKernelGoldenStateHash this is the shard-vs-serial determinism matrix
+// (a one-accelerator grid clamps 4 shards to 2; the extra row still proves
+// the clamp path reproduces the goldens).
+func TestShardedMatchesGoldenGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 12-config grid is not -short friendly")
+	}
+	base := port.PacketIDMark()
+	defer port.SetPacketIDForTest(base)
+	want := readKernelGolden(t)
+	specs := kernelGoldenSpecs()
+	if len(want) != len(specs) {
+		t.Fatalf("golden file has %d entries, grid has %d", len(want), len(specs))
+	}
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			for i, spec := range specs {
+				spec.Shards = shards
+				got := runKernelGoldenPoint(t, spec)
+				if got != want[i] {
+					t.Errorf("sharded run diverged on %s (shards=%d):\n  got  ticks=%d hash=%s\n  want ticks=%d hash=%s",
+						got.Spec, shards, got.Ticks, got.Hash, want[i].Ticks, want[i].Hash)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCrossEngine crosses the sharded engine with both RTL execution
+// engines on a grid subset: (closure|bytecode) x 2 shards must reproduce
+// the goldens, so the two execution-strategy knobs compose without touching
+// results.
+func TestShardedCrossEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short friendly")
+	}
+	base := port.PacketIDMark()
+	defer port.SetPacketIDForTest(base)
+	want := readKernelGolden(t)
+	specs := kernelGoldenSpecs()
+	for _, engine := range []string{"closure", "bytecode"} {
+		t.Run(engine, func(t *testing.T) {
+			for _, i := range []int{0, 5, 11} { // one point per in-flight band
+				spec := specs[i]
+				spec.RTLEngine = engine
+				spec.Shards = 2
+				got := runKernelGoldenPoint(t, spec)
+				if got != want[i] {
+					t.Errorf("engine=%s shards=2 diverged on %s:\n  got  ticks=%d hash=%s\n  want ticks=%d hash=%s",
+						engine, got.Spec, got.Ticks, got.Hash, want[i].Ticks, want[i].Hash)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRunAPI drives the sharded engine through the public
+// experiments.Run options pipeline and requires byte-identical statistics
+// and state hash against the serial path — the multi-accelerator case,
+// where shards hold real work.
+func TestShardedRunAPI(t *testing.T) {
+	run := func(shards int) (sim.Tick, uint64, []stats.Sample) {
+		port.SetPacketIDForTest(0)
+		spec := RunSpec{Workload: "sanity3", NVDLAs: 4, Memory: "DDR4-2ch",
+			Inflight: 64, Scale: 32, Limit: 8 * sim.Second, Shards: shards}
+		var hash uint64
+		var samples []stats.Sample
+		done, err := Run(context.Background(), spec,
+			WithStateHash(&hash), WithStats(func(s []stats.Sample) { samples = s }))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return done, hash, samples
+	}
+	base := port.PacketIDMark()
+	defer port.SetPacketIDForTest(base)
+	doneSer, hashSer, statsSer := run(1)
+	for _, shards := range []int{2, 4} {
+		done, hash, st := run(shards)
+		if done != doneSer {
+			t.Errorf("shards=%d: completion tick %d, serial %d", shards, done, doneSer)
+		}
+		if hash != hashSer {
+			t.Errorf("shards=%d: state hash %#x, serial %#x", shards, hash, hashSer)
+		}
+		if !reflect.DeepEqual(st, statsSer) {
+			t.Errorf("shards=%d: statistics diverged from serial", shards)
+		}
+	}
+}

@@ -46,14 +46,35 @@ func checkedLink(reqOwner Requestor, respOwner Responder) (*RequestPort, *Respon
 	return req, resp, c
 }
 
-// pinNoRestore zeroes the process-global restore mark for tests asserting
+// pinNoRestore clears the process-global restore marks for tests asserting
 // no-waiter violations, which a prior restore (e.g. the ckpt tests' packet-ID
 // fast-forward) would legitimately relax.
 func pinNoRestore(t *testing.T) {
 	t.Helper()
-	old := restoreMark.Load()
-	restoreMark.Store(0)
-	t.Cleanup(func() { restoreMark.Store(old) })
+	snapshotRestoreMarks(t)
+	restoreMu.Lock()
+	restoreMarks = map[uint64]uint64{}
+	restoreMu.Unlock()
+	everRestored.Store(false)
+}
+
+// snapshotRestoreMarks restores the process-global restore-mark state when
+// the test finishes.
+func snapshotRestoreMarks(t *testing.T) {
+	t.Helper()
+	restoreMu.Lock()
+	old := make(map[uint64]uint64, len(restoreMarks))
+	for k, v := range restoreMarks {
+		old[k] = v
+	}
+	restoreMu.Unlock()
+	oldEver := everRestored.Load()
+	t.Cleanup(func() {
+		restoreMu.Lock()
+		restoreMarks = old
+		restoreMu.Unlock()
+		everRestored.Store(oldEver)
+	})
 }
 
 func mustPanic(t *testing.T, substr string, fn func()) {
@@ -266,9 +287,8 @@ func TestCheckedRestoreAdoptsPreCheckpointTraffic(t *testing.T) {
 	// A packet "from the checkpointed process": minted before the restore's
 	// fast-forward, so its ID sits at the mark.
 	old := NewReadPacket(0x400, 64)
-	oldMark := restoreMark.Load()
+	snapshotRestoreMarks(t)
 	FastForwardPacketID(old.ID)
-	t.Cleanup(func() { restoreMark.Store(oldMark) })
 
 	old.MakeResponse()
 	if !resp.SendTimingResp(old) {

@@ -2,6 +2,7 @@ package port
 
 import (
 	"fmt"
+	"sort"
 
 	"gem5rtl/internal/ckpt"
 	"gem5rtl/internal/sim"
@@ -86,17 +87,80 @@ func (p *ResponsePort) RestoreState(r *ckpt.Reader) error {
 	return r.Err()
 }
 
+// canonicalStampSeqs maps each entry's stamp Seq — a raw per-queue dispatch
+// sequence number whose absolute value depends on the engine (one serial
+// counter vs per-shard counters) — to a canonical ordinal among the entries
+// that share its (When, Prio, Rank) dispatch identity, ordered by raw Seq
+// (stable by position for full ties). The relative Seq order of same-name
+// dispatches is engine-independent, so serial and sharded saves emit the
+// same ordinals; and ordinals stay far below sim.CanonicalSeqBase, so fresh
+// post-restore dispatch stamps always order behind restored ones with the
+// same (When, Prio, Rank).
+func canonicalStampSeqs(entries []queuedPkt) []uint64 {
+	type key struct {
+		when sim.Tick
+		prio int32
+		rank uint64
+	}
+	groups := make(map[key][]int, len(entries))
+	for i := range entries {
+		s := entries[i].stamp
+		k := key{s.When, s.Prio, s.Rank}
+		groups[k] = append(groups[k], i)
+	}
+	ord := make([]uint64, len(entries))
+	for _, idxs := range groups {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return entries[idxs[a]].stamp.Seq < entries[idxs[b]].stamp.Seq
+		})
+		for o, i := range idxs {
+			ord[i] = uint64(o)
+		}
+	}
+	return ord
+}
+
+// saveQueuedPkts serialises a pending slice: packets, arrival ticks and
+// sender stamps (with canonicalised stamp ordinals).
+func saveQueuedPkts(w *ckpt.Writer, entries []queuedPkt) {
+	w.Int(len(entries))
+	ord := canonicalStampSeqs(entries)
+	for i := range entries {
+		qp := &entries[i]
+		SavePacket(w, qp.pkt)
+		w.U64(uint64(qp.when))
+		w.U64(uint64(qp.stamp.When))
+		w.I64(int64(qp.stamp.Prio))
+		w.U64(qp.stamp.Rank)
+		w.U64(ord[i])
+	}
+}
+
+// loadQueuedPkts reads a pending slice written by saveQueuedPkts, appending
+// onto dst.
+func loadQueuedPkts(r *ckpt.Reader, dst []queuedPkt) []queuedPkt {
+	n := r.Len()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pkt := LoadPacket(r)
+		when := sim.Tick(r.U64())
+		stamp := sim.Stamp{
+			When: sim.Tick(r.U64()),
+			Prio: int32(r.I64()),
+			Rank: r.U64(),
+			Seq:  r.U64(),
+		}
+		dst = append(dst, queuedPkt{pkt, when, stamp})
+	}
+	return dst
+}
+
 // SaveState captures the queued responses, the blocked flag and the drain
 // event of a RespQueue.
 func (rq *RespQueue) SaveState(w *ckpt.Writer) error {
 	w.Section("port.respq")
 	w.Bool(rq.blocked)
 	sim.SaveEvent(w, rq.ev)
-	w.Int(rq.Len())
-	for _, qp := range rq.pending[rq.head:] {
-		SavePacket(w, qp.pkt)
-		w.U64(uint64(qp.when))
-	}
+	saveQueuedPkts(w, rq.pending[rq.head:])
 	return w.Err()
 }
 
@@ -106,13 +170,8 @@ func (rq *RespQueue) RestoreState(r *ckpt.Reader) error {
 	r.Section("port.respq")
 	rq.blocked = r.Bool()
 	rq.q.RestoreEvent(r, rq.ev)
-	n := r.Len()
-	rq.pending = rq.pending[:0]
+	rq.pending = loadQueuedPkts(r, rq.pending[:0])
 	rq.head = 0
-	for i := 0; i < n && r.Err() == nil; i++ {
-		pkt := LoadPacket(r)
-		rq.pending = append(rq.pending, queuedPkt{pkt, sim.Tick(r.U64())})
-	}
 	return r.Err()
 }
 
@@ -122,11 +181,7 @@ func (rq *ReqQueue) SaveState(w *ckpt.Writer) error {
 	w.Section("port.reqq")
 	w.Bool(rq.blocked)
 	sim.SaveEvent(w, rq.ev)
-	w.Int(len(rq.pending))
-	for _, qp := range rq.pending {
-		SavePacket(w, qp.pkt)
-		w.U64(uint64(qp.when))
-	}
+	saveQueuedPkts(w, rq.pending)
 	return w.Err()
 }
 
@@ -136,12 +191,7 @@ func (rq *ReqQueue) RestoreState(r *ckpt.Reader) error {
 	r.Section("port.reqq")
 	rq.blocked = r.Bool()
 	rq.q.RestoreEvent(r, rq.ev)
-	n := r.Len()
-	rq.pending = rq.pending[:0]
-	for i := 0; i < n && r.Err() == nil; i++ {
-		pkt := LoadPacket(r)
-		rq.pending = append(rq.pending, queuedPkt{pkt, sim.Tick(r.U64())})
-	}
+	rq.pending = loadQueuedPkts(r, rq.pending[:0])
 	return r.Err()
 }
 
@@ -171,17 +221,19 @@ func FastForwardPacketID(mark uint64) {
 	noteRestoredID(mark)
 }
 
-// noteRestoredID raises the checker grandfather line to at least id.
+// noteRestoredID raises the checker grandfather line of id's ID space to at
+// least id's local counter value (see restoreMarks).
 func noteRestoredID(id uint64) {
-	for {
-		cur := restoreMark.Load()
-		if cur >= id {
-			return
-		}
-		if restoreMark.CompareAndSwap(cur, id) {
-			return
-		}
+	if id == 0 {
+		return
 	}
+	space, local := id>>IDSpaceShift, id&IDSpaceLocalMask
+	restoreMu.Lock()
+	if restoreMarks[space] < local {
+		restoreMarks[space] = local
+	}
+	restoreMu.Unlock()
+	everRestored.Store(true)
 }
 
 // SetPacketIDForTest sets the counter to an absolute value, including

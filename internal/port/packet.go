@@ -104,9 +104,10 @@ type Packet struct {
 // PacketPool is a freelist of Packets for a single simulation's hot path.
 // Unlike sync.Pool it is deterministic (no GC-driven eviction), single-
 // threaded like the event queue that drives it, and checkpoint-safe: Get
-// mints a fresh ID from the same global counter as NewPacket, so the ID
-// sequence of a pooled run is bit-identical to an unpooled one, and restored
-// packets (LoadPacket) are simply unpooled.
+// mints a fresh ID from the same global counter as NewPacket (or from the
+// pool's own counter when SetIDSpace namespaced it), so the ID sequence of a
+// pooled run is bit-identical to an unpooled one, and restored packets
+// (LoadPacket) are simply unpooled.
 //
 // Pooled packets own their Data buffer: the capacity survives recycling, and
 // AllocateData zero-fills reused capacity so observable contents match a
@@ -115,7 +116,54 @@ type Packet struct {
 // instead, which is what every delivery path in this codebase already does.
 type PacketPool struct {
 	free []*Packet
+
+	// space, when non-zero, namespaces the pool's IDs: minted IDs are
+	// space<<IDSpaceShift | ctr with a pool-local counter instead of draws
+	// from the process-global counter. A namespaced allocator's ID sequence
+	// depends only on its own allocation order — not on what any other
+	// component (or shard goroutine) allocates in between — which is what
+	// keeps packet IDs, and therefore checkpoint bytes, identical between the
+	// serial and sharded engines. The counter is component state: owners
+	// persist it via SaveCounter/RestoreCounter in their own checkpoints.
+	space uint64
+	ctr   uint64
 }
+
+// IDSpaceShift positions a PacketPool ID-space tag in the top bits of a
+// packet ID; the low bits hold the pool-local counter.
+const IDSpaceShift = 48
+
+// IDSpaceLocalMask masks the pool-local counter out of a namespaced ID.
+const IDSpaceLocalMask = (uint64(1) << IDSpaceShift) - 1
+
+// SetIDSpace namespaces the pool's packet IDs under the given non-zero space
+// tag (see PacketPool). Must be set before the first Get and never changed.
+func (pl *PacketPool) SetIDSpace(space uint64) {
+	if space == 0 || space > ^uint64(0)>>IDSpaceShift {
+		panic("port: PacketPool ID space out of range")
+	}
+	if pl.ctr != 0 {
+		panic("port: SetIDSpace after packets were minted")
+	}
+	pl.space = space
+}
+
+// mintID draws the next packet ID: pool-local when namespaced, process-global
+// otherwise.
+func (pl *PacketPool) mintID() uint64 {
+	if pl.space == 0 {
+		return packetID.Add(1)
+	}
+	pl.ctr++
+	return pl.space<<IDSpaceShift | pl.ctr
+}
+
+// SaveCounter saves the namespaced-ID counter into an owner's checkpoint
+// section.
+func (pl *PacketPool) SaveCounter() uint64 { return pl.ctr }
+
+// RestoreCounter reinstates a counter saved by SaveCounter.
+func (pl *PacketPool) RestoreCounter(v uint64) { pl.ctr = v }
 
 // Get returns a packet with a fresh ID, either recycled or newly allocated.
 // The packet's Data is empty (length 0); use AllocateData or append to fill
@@ -123,13 +171,13 @@ type PacketPool struct {
 func (pl *PacketPool) Get(cmd Cmd, addr uint64, size int) *Packet {
 	n := len(pl.free)
 	if n == 0 {
-		return &Packet{ID: packetID.Add(1), Cmd: cmd, Addr: addr, Size: size, pool: pl}
+		return &Packet{ID: pl.mintID(), Cmd: cmd, Addr: addr, Size: size, pool: pl}
 	}
 	p := pl.free[n-1]
 	pl.free[n-1] = nil
 	pl.free = pl.free[:n-1]
 	p.inPool = false
-	p.ID = packetID.Add(1)
+	p.ID = pl.mintID()
 	p.Cmd = cmd
 	p.Addr = addr
 	p.Size = size
@@ -137,6 +185,14 @@ func (pl *PacketPool) Get(cmd Cmd, addr uint64, size int) *Packet {
 	p.ReqTick = 0
 	p.RequestorID = 0
 	return p
+}
+
+// NewWrite allocates an unpooled write packet (the slice is not copied) with
+// an ID minted from the pool's namespace. It exists so a namespaced
+// component's writes draw from the same deterministic per-component ID
+// sequence as its pooled reads instead of the process-global counter.
+func (pl *PacketPool) NewWrite(addr uint64, data []byte) *Packet {
+	return &Packet{ID: pl.mintID(), Cmd: WriteReq, Addr: addr, Size: len(data), Data: data}
 }
 
 // GetRead is shorthand for Get(ReadReq, addr, size).

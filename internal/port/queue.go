@@ -22,9 +22,32 @@ type RespQueue struct {
 	blocked bool
 }
 
+// queuedPkt is one scheduled delivery. stamp is the dispatch stamp of the
+// event that inserted it (sim.EventQueue.CurrentStamp at Schedule time, or an
+// explicit sender stamp via ScheduleStamped): entries are kept sorted by
+// (when, stamp), which for a serial run is exactly the historical
+// insertion-order-stable sort (stamps are monotone in dispatch order) and for
+// a sharded run makes the queue order independent of *when in host time* a
+// cross-shard insertion was applied — the sender's dispatch identity, not the
+// apply order, decides arrival-tick ties.
 type queuedPkt struct {
-	pkt  *Packet
-	when sim.Tick
+	pkt   *Packet
+	when  sim.Tick
+	stamp sim.Stamp
+}
+
+// insertPos returns the sorted insertion index for (when, stamp) in
+// pending[lo:], stable for equal keys (insert after existing equals).
+func insertPos(pending []queuedPkt, lo int, when sim.Tick, stamp sim.Stamp) int {
+	i := len(pending)
+	for i > lo {
+		p := &pending[i-1]
+		if p.when < when || (p.when == when && !stamp.Less(p.stamp)) {
+			break
+		}
+		i--
+	}
+	return i
 }
 
 // NewRespQueue creates a queue draining through port on event queue q. The
@@ -40,8 +63,16 @@ func NewRespQueue(name string, q *sim.EventQueue, port *ResponsePort) *RespQueue
 func (rq *RespQueue) SetOwner(id sim.OwnerID) { rq.ev.SetOwner(id) }
 
 // Schedule queues pkt (which must already be a response) for delivery at the
-// given absolute tick.
+// given absolute tick, stamped with the current dispatch context.
 func (rq *RespQueue) Schedule(pkt *Packet, when sim.Tick) {
+	rq.ScheduleStamped(pkt, when, rq.q.CurrentStamp())
+}
+
+// ScheduleStamped is Schedule with an explicit sender stamp — the sharded
+// engine's barrier-apply path uses it to insert cross-shard responses under
+// the *sender's* dispatch identity, and checkpoint restore uses it to
+// reinstate saved stamps.
+func (rq *RespQueue) ScheduleStamped(pkt *Packet, when sim.Tick, stamp sim.Stamp) {
 	if !pkt.IsResponse() {
 		panic("port: RespQueue.Schedule with non-response packet")
 	}
@@ -57,15 +88,12 @@ func (rq *RespQueue) Schedule(pkt *Packet, when sim.Tick) {
 		rq.pending = rq.pending[:n]
 		rq.head = 0
 	}
-	// Insert keeping the queue sorted by readiness time (stable for equal
-	// times, preserving issue order).
-	i := len(rq.pending)
-	for i > rq.head && rq.pending[i-1].when > when {
-		i--
-	}
+	// Insert keeping the queue sorted by (readiness time, sender stamp),
+	// stable for equal keys — identical to issue order in a serial run.
+	i := insertPos(rq.pending, rq.head, when, stamp)
 	rq.pending = append(rq.pending, queuedPkt{})
 	copy(rq.pending[i+1:], rq.pending[i:])
-	rq.pending[i] = queuedPkt{pkt, when}
+	rq.pending[i] = queuedPkt{pkt, when, stamp}
 	rq.arm()
 }
 
@@ -135,21 +163,25 @@ func NewReqQueue(name string, q *sim.EventQueue, port *RequestPort) *ReqQueue {
 // SetOwner re-tags the drain event's self-profiler attribution owner.
 func (rq *ReqQueue) SetOwner(id sim.OwnerID) { rq.ev.SetOwner(id) }
 
-// Schedule queues a request for transmission at the given absolute tick.
+// Schedule queues a request for transmission at the given absolute tick,
+// stamped with the current dispatch context.
 func (rq *ReqQueue) Schedule(pkt *Packet, when sim.Tick) {
+	rq.ScheduleStamped(pkt, when, rq.q.CurrentStamp())
+}
+
+// ScheduleStamped is Schedule with an explicit sender stamp; see
+// RespQueue.ScheduleStamped.
+func (rq *ReqQueue) ScheduleStamped(pkt *Packet, when sim.Tick, stamp sim.Stamp) {
 	if pkt.IsResponse() {
 		panic("port: ReqQueue.Schedule with response packet")
 	}
 	if when < rq.q.Now() {
 		when = rq.q.Now()
 	}
-	i := len(rq.pending)
-	for i > 0 && rq.pending[i-1].when > when {
-		i--
-	}
+	i := insertPos(rq.pending, 0, when, stamp)
 	rq.pending = append(rq.pending, queuedPkt{})
 	copy(rq.pending[i+1:], rq.pending[i:])
-	rq.pending[i] = queuedPkt{pkt, when}
+	rq.pending[i] = queuedPkt{pkt, when, stamp}
 	rq.arm()
 }
 

@@ -1,0 +1,225 @@
+// Package psim is the bulk-synchronous sharded simulation engine: it runs
+// one sim.EventQueue per shard, each on its own goroutine, advancing all
+// shards in lockstep epochs bounded by a conservative lookahead — the
+// minimum simulated latency any event on one shard needs before it can
+// affect another shard (in the SoC partition, the memory crossbar's
+// traversal latency). Within an epoch shards dispatch independently;
+// cross-shard traffic is exchanged only at epoch barriers, as messages on
+// deterministic per-(source, destination) FIFO links.
+//
+// The engine is conservative and deterministic by construction:
+//
+//   - An event dispatched at tick t on shard A can only influence shard B at
+//     tick >= t + lookahead, which is strictly beyond the epoch both were
+//     running. Messages applied at the barrier therefore always land in the
+//     receiving shard's future — no shard ever sees a cause after its effect.
+//   - Messages from one source apply in send order (the source shard's
+//     dispatch order, which equals the serial engine's dispatch order
+//     restricted to that shard), and receiving-side structures order
+//     same-tick arrivals by the sender's dispatch stamp (sim.Stamp), so the
+//     merged outcome is independent of both host scheduling and the apply
+//     order across sources.
+//
+// Together with the engine-independent event arbitration order in package
+// sim — (when, priority, name rank, sequence) — this makes a sharded run
+// dispatch exactly the events a serial run dispatches, in an order whose
+// observable effects are identical, which is what keeps statistics, state
+// hashes and checkpoints bit-identical across engines and shard counts.
+// DESIGN.md's "Parallel simulation" section walks through the argument.
+package psim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gem5rtl/internal/sim"
+)
+
+// Engine coordinates the shard queues and their barrier-exchanged links.
+type Engine struct {
+	queues    []*sim.EventQueue
+	lookahead sim.Tick
+
+	// links[src][dst] is the FIFO of cross-shard messages sent by shard src
+	// to shard dst during the current epoch. Written only by shard src's
+	// goroutine (during the run phase), drained only by shard dst's (during
+	// the apply phase); the epoch barriers order the two.
+	links [][][]func()
+
+	// target is the current epoch's run limit, published to the workers by
+	// the epoch-start barrier.
+	target sim.Tick
+	// quit tells workers to return; published like target.
+	quit bool
+}
+
+// New creates an engine over the given shard queues (shard 0 first). The
+// lookahead is the minimum simulated delay of any cross-shard interaction
+// and must be positive; epochs span [k*lookahead, (k+1)*lookahead).
+func New(queues []*sim.EventQueue, lookahead sim.Tick) *Engine {
+	if len(queues) == 0 {
+		panic("psim: no shard queues")
+	}
+	if lookahead <= 0 {
+		panic("psim: lookahead must be positive")
+	}
+	n := len(queues)
+	links := make([][][]func(), n)
+	for i := range links {
+		links[i] = make([][]func(), n)
+	}
+	return &Engine{queues: queues, lookahead: lookahead, links: links}
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.queues) }
+
+// Queue returns shard i's event queue.
+func (e *Engine) Queue(i int) *sim.EventQueue { return e.queues[i] }
+
+// Lookahead returns the epoch length.
+func (e *Engine) Lookahead() sim.Tick { return e.lookahead }
+
+// Send enqueues a cross-shard message: apply runs on shard dst's goroutine
+// at the next epoch barrier. Must be called from shard src's goroutine
+// during the run phase (i.e. from an event handler on shard src's queue);
+// messages from one source are applied in send order.
+func (e *Engine) Send(src, dst int, apply func()) {
+	e.links[src][dst] = append(e.links[src][dst], apply)
+}
+
+// applyInbound drains every source's link into shard dst, in source order.
+// Only shard dst's state is touched, so all shards apply concurrently.
+func (e *Engine) applyInbound(dst int) {
+	for src := range e.links {
+		l := e.links[src][dst]
+		for i, fn := range l {
+			fn()
+			l[i] = nil
+		}
+		e.links[src][dst] = l[:0]
+	}
+}
+
+// anyExit reports whether any shard queue has latched an exit.
+func (e *Engine) anyExit() bool {
+	for _, q := range e.queues {
+		if q.ExitReason() != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// EpochEnd returns the last tick of the epoch containing t: the aligned
+// point a run detecting completion at t must continue to so that a sharded
+// run (which can only observe completion at barriers) and a serial run end
+// in identical states.
+func EpochEnd(t, lookahead sim.Tick) sim.Tick {
+	return (t/lookahead+1)*lookahead - 1
+}
+
+// RunEpochs drives every shard in bulk-synchronous epochs until all queues
+// reach limit, any queue latches an exit (sim.EventQueue.ExitSimLoop), or
+// atBarrier returns true. atBarrier (nil = never stop early) runs on the
+// caller's goroutine between epochs, with every shard quiescent and all
+// cross-shard messages applied — the place to aggregate completion state
+// that no single shard can see, to hook watchdog checks, and to decide
+// stopping; now is the aligned current tick, the last tick of the epoch
+// just run. On return all shards have stopped and their effects are visible
+// to the caller.
+func (e *Engine) RunEpochs(limit sim.Tick, atBarrier func(now sim.Tick) bool) {
+	n := len(e.queues)
+	e.quit = false
+	// Three reusable barriers over n workers + the coordinator: epoch start
+	// (publishes target/quit), run done (orders Send against applyInbound),
+	// applies done (quiesces the machine for the coordinator's decisions).
+	start, ran, applied := newBarrier(n+1), newBarrier(n+1), newBarrier(n+1)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := e.queues[i]
+			for {
+				start.wait()
+				if e.quit {
+					return
+				}
+				q.RunUntil(e.target)
+				ran.wait()
+				e.applyInbound(i)
+				applied.wait()
+			}
+		}(i)
+	}
+	for {
+		now := e.queues[0].Now()
+		if now >= limit || e.anyExit() {
+			break
+		}
+		// After an epoch the queues rest ON its last tick, so the next
+		// target comes from now+1 — EpochEnd(now) would be now itself.
+		tgt := EpochEnd(now+1, e.lookahead)
+		if tgt > limit {
+			tgt = limit
+		}
+		e.target = tgt
+		start.wait()
+		ran.wait()
+		applied.wait()
+		if atBarrier != nil && atBarrier(e.queues[0].Now()) {
+			break
+		}
+	}
+	e.quit = true
+	start.wait()
+	wg.Wait()
+}
+
+// CheckAligned panics unless every shard sits at the same tick — the
+// invariant checkpoint saves rely on. Exit paths (context cancellation,
+// watchdog trips) legitimately leave shards misaligned, which is why saving
+// from an errored run is refused rather than silently wrong.
+func (e *Engine) CheckAligned() {
+	now := e.queues[0].Now()
+	for i, q := range e.queues[1:] {
+		if q.Now() != now {
+			panic(fmt.Sprintf("psim: shard %d at tick %d, shard 0 at %d — not at an epoch barrier",
+				i+1, q.Now(), now))
+		}
+	}
+}
+
+// barrier is a reusable sense-reversing spin barrier. Spinning (with a
+// bounded-backoff Gosched) rather than parking matters here: epochs are
+// short (a few microseconds of host work for a 2-cycle-lookahead SoC), so
+// futex-style sleep/wake on every epoch would dominate the speedup the
+// shards buy. The atomics double as the happens-before edges that publish
+// each phase's writes (targets, link slices, queue state) to the next —
+// both for the memory model and for the race detector.
+type barrier struct {
+	members int32
+	count   atomic.Int32
+	gen     atomic.Uint32
+}
+
+func newBarrier(members int) *barrier {
+	return &barrier{members: int32(members)}
+}
+
+func (b *barrier) wait() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.members {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if spins%1024 == 1023 {
+			runtime.Gosched()
+		}
+	}
+}

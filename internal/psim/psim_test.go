@@ -1,0 +1,146 @@
+package psim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gem5rtl/internal/sim"
+)
+
+const L = sim.Tick(1000)
+
+type traceEntry struct {
+	Name string
+	At   sim.Tick
+}
+
+// buildToy wires the same toy machine serially (one queue, direct cross-
+// component scheduling) or sharded (two queues, messages through eng):
+// component A ticks every 100 on shard 0, component B ticks every 70 on
+// shard 1, and every third B tick asks A's shard to run an event L ticks
+// later — the minimum legal cross-shard delay.
+func buildToy(qa, qb *sim.EventQueue, send func(apply func())) (traceA, traceB *[]traceEntry) {
+	ta, tb := &[]traceEntry{}, &[]traceEntry{}
+	var a, b *sim.Event
+	a = sim.NewEvent("toy.a", func() {
+		*ta = append(*ta, traceEntry{"toy.a", qa.Now()})
+		if qa.Now() < 20_000 {
+			qa.Schedule(a, qa.Now()+100)
+		}
+	})
+	n := 0
+	b = sim.NewEvent("toy.b", func() {
+		*tb = append(*tb, traceEntry{"toy.b", qb.Now()})
+		n++
+		if n%3 == 0 {
+			at := qb.Now() + L
+			send(func() {
+				qa.ScheduleOneShot("toy.x", at, func() {
+					*ta = append(*ta, traceEntry{"toy.x", qa.Now()})
+				})
+			})
+		}
+		if qb.Now() < 20_000 {
+			qb.Schedule(b, qb.Now()+70)
+		}
+	})
+	qa.Schedule(a, 0)
+	qb.Schedule(b, 0)
+	return ta, tb
+}
+
+func runSerialToy(limit sim.Tick) ([]traceEntry, []traceEntry) {
+	q := sim.NewEventQueue()
+	ta, tb := buildToy(q, q, func(apply func()) { apply() })
+	q.RunUntil(limit)
+	return *ta, *tb
+}
+
+func runShardedToy(t *testing.T, limit sim.Tick) ([]traceEntry, []traceEntry, *Engine) {
+	t.Helper()
+	qa, qb := sim.NewEventQueue(), sim.NewEventQueue()
+	eng := New([]*sim.EventQueue{qa, qb}, L)
+	ta, tb := buildToy(qa, qb, func(apply func()) { eng.Send(1, 0, apply) })
+	eng.RunEpochs(limit, nil)
+	eng.CheckAligned()
+	return *ta, *tb, eng
+}
+
+// TestShardedMatchesSerial is the toy-model version of the SoC differential
+// test: per-component dispatch traces of the sharded engine must equal the
+// serial engine's, including the cross-shard events.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, limit := range []sim.Tick{25_000, 21_500, 999} {
+		t.Run(fmt.Sprint(limit), func(t *testing.T) {
+			sa, sb := runSerialToy(limit)
+			pa, pb, eng := runShardedToy(t, limit)
+			if !reflect.DeepEqual(sa, pa) {
+				t.Fatalf("shard-0 trace diverged:\nserial  %v\nsharded %v", sa, pa)
+			}
+			if !reflect.DeepEqual(sb, pb) {
+				t.Fatalf("shard-1 trace diverged:\nserial  %v\nsharded %v", sb, pb)
+			}
+			if got := eng.Queue(0).Now(); got != limit {
+				t.Fatalf("shard 0 stopped at %d, want %d", got, limit)
+			}
+		})
+	}
+}
+
+// TestShardedDeterministic runs the sharded toy twice and requires identical
+// traces — host scheduling must not leak into results.
+func TestShardedDeterministic(t *testing.T) {
+	a1, b1, _ := runShardedToy(t, 25_000)
+	a2, b2, _ := runShardedToy(t, 25_000)
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatal("two sharded runs diverged")
+	}
+}
+
+// TestAtBarrierStops checks the coordinator hook: it sees aligned epoch-end
+// ticks and can end the run early.
+func TestAtBarrierStops(t *testing.T) {
+	qa, qb := sim.NewEventQueue(), sim.NewEventQueue()
+	eng := New([]*sim.EventQueue{qa, qb}, L)
+	buildToy(qa, qb, func(apply func()) { eng.Send(1, 0, apply) })
+	var seen []sim.Tick
+	eng.RunEpochs(50_000, func(now sim.Tick) bool {
+		seen = append(seen, now)
+		return len(seen) == 3
+	})
+	want := []sim.Tick{L - 1, 2*L - 1, 3*L - 1}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("barrier ticks = %v, want %v", seen, want)
+	}
+	if qa.Now() != 3*L-1 || qb.Now() != 3*L-1 {
+		t.Fatalf("stopped at %d/%d, want %d", qa.Now(), qb.Now(), 3*L-1)
+	}
+}
+
+// TestExitStopsAllShards checks that a queue-latched exit ends the whole
+// run at the next barrier.
+func TestExitStopsAllShards(t *testing.T) {
+	qa, qb := sim.NewEventQueue(), sim.NewEventQueue()
+	eng := New([]*sim.EventQueue{qa, qb}, L)
+	buildToy(qa, qb, func(apply func()) { eng.Send(1, 0, apply) })
+	qa.ScheduleOneShot("toy.exit", 2_500, func() { qa.ExitSimLoop("toy exit") })
+	eng.RunEpochs(50_000, nil)
+	if qa.ExitReason() != "toy exit" {
+		t.Fatalf("exit reason = %q", qa.ExitReason())
+	}
+	if qb.Now() >= 50_000 {
+		t.Fatalf("shard 1 ran to the limit despite shard 0 exiting (now=%d)", qb.Now())
+	}
+}
+
+func TestEpochEnd(t *testing.T) {
+	cases := []struct{ t, want sim.Tick }{
+		{0, 999}, {1, 999}, {999, 999}, {1000, 1999}, {1500, 1999}, {1999, 1999}, {2000, 2999},
+	}
+	for _, c := range cases {
+		if got := EpochEnd(c.t, L); got != c.want {
+			t.Errorf("EpochEnd(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}

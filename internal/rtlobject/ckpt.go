@@ -105,6 +105,7 @@ func (r *RTLObject) SaveState(w *ckpt.Writer) error {
 		port.SavePacket(w, r.cpuPkts[id])
 	}
 	w.U64(r.nextCPUID)
+	w.U64(r.pool.SaveCounter())
 	ids = ids[:0]
 	for id := range r.inflight {
 		ids = append(ids, id)
@@ -170,6 +171,7 @@ func (r *RTLObject) RestoreState(rd *ckpt.Reader) error {
 		r.cpuPktPort[id] = pi
 	}
 	r.nextCPUID = rd.U64()
+	r.pool.RestoreCounter(rd.U64())
 	n = rd.Len()
 	r.inflight = make(map[uint64]*memTxn, n)
 	for i := 0; i < n && rd.Err() == nil; i++ {

@@ -232,6 +232,14 @@ func New(cfg Config, coreDom *sim.ClockDomain, w Wrapper) *RTLObject {
 // Name returns the configured name.
 func (r *RTLObject) Name() string { return r.cfg.Name }
 
+// SetPacketIDSpace namespaces the object's DMA packet IDs under the given
+// non-zero space tag (port.PacketPool.SetIDSpace). The SoC assigns every
+// RTLObject its own space so the object's ID sequence depends only on its own
+// allocation order — a prerequisite for the sharded engine, where objects
+// allocate concurrently, to mint the same IDs (and therefore the same
+// checkpoint bytes) as a serial run. Must be called before Start.
+func (r *RTLObject) SetPacketIDSpace(space uint64) { r.pool.SetIDSpace(space) }
+
 // Stats returns a snapshot of activity counters.
 func (r *RTLObject) Stats() Stats { return r.stats }
 
@@ -327,8 +335,10 @@ func (r *RTLObject) pumpMem() {
 		}
 		var pkt *port.Packet
 		if req.Write {
-			// Unpooled: the packet aliases the wrapper's payload buffer.
-			pkt = port.NewWritePacket(addr, req.Data)
+			// Unpooled (the packet aliases the wrapper's payload buffer) but
+			// minted from the pool's ID space so reads and writes share one
+			// deterministic per-object sequence.
+			pkt = r.pool.NewWrite(addr, req.Data)
 		} else {
 			pkt = r.pool.GetRead(addr, req.Size)
 		}

@@ -47,21 +47,24 @@ func TestEventQueueRoundTrip(t *testing.T) {
 	}
 }
 
-// TestRestoreSchedulePreservesOrder re-materialises three same-tick events in
-// a different order than they were originally scheduled and checks that the
-// saved sequence numbers still decide dispatch order.
+// TestRestoreSchedulePreservesOrder re-materialises three same-name,
+// same-tick events in a different order than their saved sequence numbers
+// and checks the saved seqs still decide dispatch order (rank ties on equal
+// names, so seq is the deciding key), and that a fresh same-name event
+// scheduled after the restore orders behind all of them.
 func TestRestoreSchedulePreservesOrder(t *testing.T) {
 	q := NewEventQueue()
 	var order []string
-	mk := func(name string) *Event { return NewEvent(name, func() { order = append(order, name) }) }
+	mk := func(tag string) *Event { return NewEvent("ev", func() { order = append(order, tag) }) }
 	a, b, c := mk("a"), mk("b"), mk("c")
 
 	// Restore in reverse order with explicit seqs.
 	q.RestoreSchedule(c, 100, 2)
 	q.RestoreSchedule(b, 100, 1)
 	q.RestoreSchedule(a, 100, 0)
-	// A newly scheduled event at the same tick must order after all three.
-	q.ScheduleFunc("d", 100, func() { order = append(order, "d") })
+	// A newly scheduled event with the same name at the same tick mints a
+	// later seq and must order after all three.
+	q.ScheduleOneShot("ev", 100, func() { order = append(order, "d") })
 
 	q.Run()
 	want := []string{"a", "b", "c", "d"}

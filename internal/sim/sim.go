@@ -82,6 +82,17 @@ type Event struct {
 	fn   func()
 	when Tick
 	prio int
+	// rank is a stable arbitration key derived from the event name (FNV-64a).
+	// Same-tick, same-priority events dispatch in rank order before falling
+	// back to the insertion sequence, so the intra-tick order of events from
+	// *different* components depends only on their names — not on which queue
+	// they were scheduled on or in which host order. This is what lets the
+	// sharded engine (internal/psim) reproduce the serial dispatch order
+	// bit-for-bit: component names are unique, so cross-component ties break
+	// identically on every shard layout, and the seq tie-break is only ever
+	// consulted between events of the same name, which always live on the
+	// same queue.
+	rank uint64
 	seq  uint64
 	// index is the event's far-heap position, or one of the sentinel states
 	// below when it is not in the heap.
@@ -101,15 +112,28 @@ const (
 	idxNearRing    = -2
 )
 
+// nameRank hashes an event name with FNV-64a. The hash is computed once per
+// event creation (or per one-shot rename) and cached in Event.rank.
+func nameRank(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // NewEvent returns an unscheduled event that runs fn when dispatched.
-// The name is used in error messages and debugging output only.
+// The name doubles as the event's stable arbitration identity: same-tick,
+// same-priority ties dispatch in name-hash (rank) order, so names should be
+// component-qualified and unique per component.
 func NewEvent(name string, fn func()) *Event {
-	return &Event{name: name, fn: fn, index: idxUnscheduled}
+	return &Event{name: name, fn: fn, rank: nameRank(name), index: idxUnscheduled}
 }
 
 // NewEventPri is NewEvent with an explicit intra-tick priority.
 func NewEventPri(name string, prio int, fn func()) *Event {
-	return &Event{name: name, fn: fn, prio: prio, index: idxUnscheduled}
+	return &Event{name: name, fn: fn, prio: prio, rank: nameRank(name), index: idxUnscheduled}
 }
 
 // Name returns the event's debug name.
@@ -123,10 +147,14 @@ func (e *Event) Scheduled() bool { return e.scheduled }
 func (e *Event) When() Tick { return e.when }
 
 // before orders two events scheduled for the same tick: by priority, then by
-// insertion sequence (FIFO among equals). It must agree with eventHeap.Less.
+// name rank (stable across queue layouts), then by insertion sequence (FIFO
+// among same-name events). It must agree with eventHeap.Less.
 func (e *Event) before(o *Event) bool {
 	if e.prio != o.prio {
 		return e.prio < o.prio
+	}
+	if e.rank != o.rank {
+		return e.rank < o.rank
 	}
 	return e.seq < o.seq
 }
@@ -141,6 +169,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	if a.prio != b.prio {
 		return a.prio < b.prio
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
 	}
 	return a.seq < b.seq
 }
@@ -176,6 +207,22 @@ type EventQueue struct {
 	// strictly single-threaded, so read it only from the sim goroutine
 	// (host-side monitors aggregate it post-run via obs.CountEvents).
 	dispatched uint64
+
+	// curStamp identifies the dispatch context of the event currently (or
+	// most recently) executing: its (when, prio, rank, seq). Port queues
+	// capture it at insertion time so their arrival-tick ties resolve by the
+	// *sender's* dispatch order — an engine-independent key the sharded
+	// engine can reproduce across epoch barriers.
+	curStamp Stamp
+
+	// stopAfter, when stopSet, caps RunUntil: no event with a later tick is
+	// dispatched and time does not advance past it. Unlike ExitSimLoop it is
+	// not an event and consumes no sequence numbers or dispatch counts, so a
+	// run that completes via stop-after leaves the same queue state as one
+	// that never reached the cap — the property the serial and sharded
+	// engines rely on to finish runs at bit-identical states.
+	stopAfter Tick
+	stopSet   bool
 
 	// Calendar ring: slot i holds the (prio, seq)-sorted intrusive list of
 	// events at the unique tick t in [now, now+calWindow) with t mod
@@ -428,10 +475,11 @@ func (q *EventQueue) ScheduleOneShotOwned(name string, when Tick, owner OwnerID,
 		q.freeEvents = e.next
 		e.next = nil
 		e.name = name
+		e.rank = nameRank(name)
 		e.fn = fn
 		e.prio = PriDefault
 	} else {
-		e = &Event{name: name, fn: fn, index: idxUnscheduled, oneShot: true}
+		e = &Event{name: name, fn: fn, rank: nameRank(name), index: idxUnscheduled, oneShot: true}
 	}
 	e.owner = owner
 	q.Schedule(e, when)
@@ -499,6 +547,7 @@ func (q *EventQueue) Step() bool {
 	e.scheduled = false
 	q.nearCount--
 	q.dispatched++
+	q.curStamp = Stamp{When: e.when, Prio: int32(e.prio), Rank: e.rank, Seq: e.seq}
 	if p := q.prof; p != nil {
 		p.hit(e.owner)
 	}
@@ -519,6 +568,7 @@ func (q *EventQueue) stepRef() bool {
 	q.now = e.when
 	e.scheduled = false
 	q.dispatched++
+	q.curStamp = Stamp{When: e.when, Prio: int32(e.prio), Rank: e.rank, Seq: e.seq}
 	if p := q.prof; p != nil {
 		p.hit(e.owner)
 	}
@@ -574,6 +624,9 @@ func (q *EventQueue) PendingSummaries(max int) []string {
 		if a.prio != b.prio {
 			return a.prio < b.prio
 		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
 		return a.seq < b.seq
 	})
 	if max > 0 && len(evs) > max {
@@ -586,18 +639,77 @@ func (q *EventQueue) PendingSummaries(max int) []string {
 	return out
 }
 
-// RunUntil dispatches events with tick <= limit. Time advances to limit if
-// the queue drains earlier. Returns the exit reason ("" if none).
+// RunUntil dispatches events with tick <= limit (further capped by
+// SetStopAfter when armed). Time advances to the effective limit if the
+// queue drains earlier. Returns the exit reason ("" if none).
 func (q *EventQueue) RunUntil(limit Tick) string {
 	for !q.exitSet {
+		eff := limit
+		if q.stopSet && q.stopAfter < eff {
+			eff = q.stopAfter
+		}
 		t, ok := q.NextEventTick()
-		if !ok || t > limit {
+		if !ok || t > eff {
 			break
 		}
 		q.Step()
 	}
-	if !q.exitSet && q.now < limit {
-		q.now = limit
+	eff := limit
+	if q.stopSet && q.stopAfter < eff {
+		eff = q.stopAfter
+	}
+	if !q.exitSet && q.now < eff {
+		q.now = eff
 	}
 	return q.exitReason
 }
+
+// Stamp is the identity of one event dispatch: the (when, prio, rank, seq)
+// key under which the event was ordered. Stamps order exactly like the
+// dispatch order itself, so "sort by stamp" reproduces "order of side
+// effects in the serial run" — the property port queues use to keep
+// arrival-tick ties deterministic under the sharded engine. The Seq field
+// is only ever compared between dispatches of the same event name (equal
+// Rank), which always share a queue, so stamp comparisons never depend on
+// per-queue sequence counters diverging across shard layouts.
+type Stamp struct {
+	When Tick
+	Prio int32
+	Rank uint64
+	Seq  uint64
+}
+
+// Less orders stamps by (when, prio, rank, seq).
+func (s Stamp) Less(o Stamp) bool {
+	if s.When != o.When {
+		return s.When < o.When
+	}
+	if s.Prio != o.Prio {
+		return s.Prio < o.Prio
+	}
+	if s.Rank != o.Rank {
+		return s.Rank < o.Rank
+	}
+	return s.Seq < o.Seq
+}
+
+// CurrentStamp returns the dispatch stamp of the event currently executing
+// (or, between dispatches, the most recently executed one; the zero Stamp
+// before any event has run). Single-threaded like the rest of the queue API.
+func (q *EventQueue) CurrentStamp() Stamp { return q.curStamp }
+
+// SetStopAfter caps RunUntil at tick t: events scheduled later stay pending
+// and simulated time stops at t. Unlike ExitSimLoop this consumes no event,
+// sequence number or dispatch count — completion detected mid-run (the last
+// NVDLA interrupt) can end the run at an epoch-aligned tick while leaving
+// queue state identical to a run that was given exactly that limit.
+func (q *EventQueue) SetStopAfter(t Tick) {
+	q.stopAfter = t
+	q.stopSet = true
+}
+
+// ClearStopAfter disarms SetStopAfter.
+func (q *EventQueue) ClearStopAfter() { q.stopSet = false; q.stopAfter = 0 }
+
+// StopAfter returns the armed stop-after tick, or false when disarmed.
+func (q *EventQueue) StopAfter() (Tick, bool) { return q.stopAfter, q.stopSet }

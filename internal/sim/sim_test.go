@@ -27,13 +27,45 @@ func TestSameTickPriorityAndFIFO(t *testing.T) {
 	var got []string
 	q.Schedule(NewEventPri("low", 10, func() { got = append(got, "low") }), 5)
 	q.Schedule(NewEventPri("high", -10, func() { got = append(got, "high") }), 5)
-	q.Schedule(NewEventPri("fifo1", 0, func() { got = append(got, "f1") }), 5)
-	q.Schedule(NewEventPri("fifo2", 0, func() { got = append(got, "f2") }), 5)
+	// Same-name events at the same (tick, priority) dispatch FIFO; events with
+	// different names order by name rank, independent of insertion order.
+	q.ScheduleOneShot("fifo", 5, func() { got = append(got, "f1") })
+	q.ScheduleOneShot("fifo", 5, func() { got = append(got, "f2") })
 	q.Run()
 	want := []string{"high", "f1", "f2", "low"}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSameTickRankOrder pins the cross-name arbitration contract: same-tick,
+// same-priority events of different names dispatch in name-rank order no
+// matter which order they were scheduled in — the property that makes
+// dispatch order independent of the queue layout (serial vs sharded).
+func TestSameTickRankOrder(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	runIn := func(order []int) []string {
+		q := NewEventQueue()
+		var got []string
+		for _, i := range order {
+			name := names[i]
+			q.Schedule(NewEvent(name, func() { got = append(got, name) }), 5)
+		}
+		q.Run()
+		return got
+	}
+	a := runIn([]int{0, 1, 2, 3})
+	b := runIn([]int{3, 2, 1, 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch order depends on insertion order: %v vs %v", a, b)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if nameRank(a[i-1]) >= nameRank(a[i]) {
+			t.Fatalf("dispatch order %v does not follow name rank", a)
 		}
 	}
 }

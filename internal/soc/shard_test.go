@@ -1,0 +1,241 @@
+package soc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"gem5rtl/internal/obs"
+	"gem5rtl/internal/sim"
+)
+
+// runShardedTrace builds a system with the given shard count, starts n
+// accelerators on distinct small traces, runs to completion and returns the
+// system plus the completion tick.
+func runShardedTrace(t *testing.T, memName string, nvdlas, inflight, shards int) (*System, sim.Tick) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Memory = memName
+	cfg.NVDLAs = nvdlas
+	cfg.NVDLAMaxInflight = inflight
+	cfg.Shards = shards
+	s := MustBuild(cfg)
+	for i := 0; i < nvdlas; i++ {
+		s.NVDLAs[i].Start()
+		s.PlayTrace(i, smallTrace(uint64(0x1000_0000*(i+1))))
+	}
+	done, err := s.RunUntilNVDLAsDone(sim.Second)
+	if err != nil {
+		t.Fatalf("%s nvdlas=%d shards=%d: %v", memName, nvdlas, shards, err)
+	}
+	return s, done
+}
+
+func stateHash(t *testing.T, s *System) uint64 {
+	t.Helper()
+	h, err := s.StateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func statsDump(s *System) string {
+	var b bytes.Buffer
+	s.Stats.Dump(&b)
+	return b.String()
+}
+
+// TestShardedMatchesSerial is the differential determinism witness: a
+// sharded run must finish at the same tick as a serial run with
+// byte-identical statistics and a bit-identical full-system state hash.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, c := range []struct {
+		mem            string
+		nvdlas, shards int
+	}{
+		{"ideal", 1, 2},
+		{"ideal", 2, 2},
+		{"DDR4-1ch", 2, 3},
+		{"DDR4-2ch", 4, 2},
+		{"DDR4-2ch", 4, 5},
+	} {
+		t.Run(fmt.Sprintf("%s/n%d/s%d", c.mem, c.nvdlas, c.shards), func(t *testing.T) {
+			ser, doneSer := runShardedTrace(t, c.mem, c.nvdlas, 64, 1)
+			par, donePar := runShardedTrace(t, c.mem, c.nvdlas, 64, c.shards)
+			if doneSer != donePar {
+				t.Fatalf("completion tick: serial %d, sharded %d", doneSer, donePar)
+			}
+			if ser.Queue.Now() != par.Queue.Now() {
+				t.Fatalf("final tick: serial %d, sharded %d", ser.Queue.Now(), par.Queue.Now())
+			}
+			if got, want := statsDump(par), statsDump(ser); got != want {
+				t.Fatalf("stats diverged:\nserial:\n%s\nsharded:\n%s", want, got)
+			}
+			if got, want := stateHash(t, par), stateHash(t, ser); got != want {
+				t.Fatalf("state hash: serial %#x, sharded %#x", want, got)
+			}
+			if got := ser.Dispatched(); got != par.Dispatched() {
+				t.Fatalf("dispatched: serial %d, sharded %d", got, par.Dispatched())
+			}
+		})
+	}
+}
+
+// TestShardedDeterministic runs the same sharded configuration twice; host
+// scheduling must not leak into results.
+func TestShardedDeterministic(t *testing.T) {
+	a, doneA := runShardedTrace(t, "DDR4-1ch", 2, 64, 3)
+	b, doneB := runShardedTrace(t, "DDR4-1ch", 2, 64, 3)
+	if doneA != doneB {
+		t.Fatalf("completion ticks diverged: %d vs %d", doneA, doneB)
+	}
+	if stateHash(t, a) != stateHash(t, b) {
+		t.Fatal("two identical sharded runs produced different state hashes")
+	}
+}
+
+// TestShardedCheckpointInterchange proves the serialised state is
+// engine-portable: a checkpoint saved mid-run by one engine restores into
+// the other and finishes bit-identically to an uninterrupted serial run.
+func TestShardedCheckpointInterchange(t *testing.T) {
+	const mem, nvdlas, inflight = "ideal", 2, 64
+	build := func(shards int) *System {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		cfg.Memory = mem
+		cfg.NVDLAs = nvdlas
+		cfg.NVDLAMaxInflight = inflight
+		cfg.Shards = shards
+		s := MustBuild(cfg)
+		return s
+	}
+	start := func(s *System) {
+		for i := 0; i < nvdlas; i++ {
+			s.NVDLAs[i].Start()
+			s.PlayTrace(i, smallTrace(uint64(0x1000_0000*(i+1))))
+		}
+	}
+	// The uninterrupted serial reference.
+	ref := build(1)
+	start(ref)
+	refDone, err := ref.RunUntilNVDLAsDone(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHash := stateHash(t, ref)
+	mid := refDone / 2
+
+	for _, dir := range []struct {
+		name         string
+		save, resume int // shard counts
+	}{
+		{"serial-save/sharded-restore", 1, 3},
+		{"sharded-save/serial-restore", 3, 1},
+		{"sharded-save/sharded-restore", 3, 3},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			first := build(dir.save)
+			start(first)
+			if _, _, err := first.RunNVDLAPhase(context.Background(), mid); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := first.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			second := build(dir.resume)
+			if _, err := second.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			done, err := second.RunUntilNVDLAsDone(sim.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done != refDone {
+				t.Fatalf("completion tick %d, want %d", done, refDone)
+			}
+			if got := stateHash(t, second); got != refHash {
+				t.Fatalf("state hash %#x, want %#x", got, refHash)
+			}
+		})
+	}
+}
+
+// TestShardedConfigValidation covers the no-refusal invariant's build-time
+// rules and shard-count clamping.
+func TestShardedConfigValidation(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		cfg.Memory = "ideal"
+		cfg.NVDLAs = 2
+		cfg.NVDLAMaxInflight = 64
+		cfg.Shards = 2
+		return cfg
+	}
+	if _, err := Build(base()); err != nil {
+		t.Fatalf("valid sharded config rejected: %v", err)
+	}
+	bad := base()
+	bad.NVDLAs = 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("sharded build with no accelerators accepted")
+	}
+	bad = base()
+	bad.NVDLAScratchpad = true
+	if _, err := Build(bad); err == nil {
+		t.Fatal("sharded build with scratchpad accepted")
+	}
+	bad = base()
+	bad.NVDLAMaxInflight = 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("sharded build with unlimited in-flight accepted")
+	}
+	bad = base()
+	bad.NVDLAMaxInflight = memXbarMaxOutstanding + 1
+	if _, err := Build(bad); err == nil {
+		t.Fatal("sharded build exceeding the crossbar budget accepted")
+	}
+	bad = base()
+	bad.Shards = -1
+	if _, err := Build(bad); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	clamped := base()
+	clamped.Shards = 16
+	s := MustBuild(clamped)
+	if got := len(s.ShardQueues); got != 1+clamped.NVDLAs {
+		t.Fatalf("shard count not clamped: %d queues, want %d", got, 1+clamped.NVDLAs)
+	}
+	serial := base()
+	serial.Shards = 1
+	if s := MustBuild(serial); s.Engine != nil || len(s.ShardQueues) != 1 {
+		t.Fatal("Shards=1 did not build serially")
+	}
+}
+
+// TestShardedObservabilityRejected: tracing and latency profiling are
+// serial-run features.
+func TestShardedObservabilityRejected(t *testing.T) {
+	s, _ := func() (*System, sim.Tick) {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		cfg.Memory = "ideal"
+		cfg.NVDLAs = 1
+		cfg.NVDLAMaxInflight = 8
+		cfg.Shards = 2
+		return MustBuild(cfg), 0
+	}()
+	if _, err := s.AttachTracer(obs.Config{Flags: "all"}); err == nil {
+		t.Fatal("tracer attached to a sharded build")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("latency profile attached to a sharded build")
+		}
+	}()
+	s.AttachLatencyProfile(nil)
+}

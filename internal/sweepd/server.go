@@ -27,7 +27,11 @@ const MetricsPrefix = "gem5rtl_"
 // with runtime.NumCPU() workers, default retries and no warm start.
 type Config struct {
 	// Workers is the simulation worker pool size; <= 0 means
-	// runtime.NumCPU().
+	// runtime.NumCPU(). It doubles as the core budget for sharded points: a
+	// point whose RunSpec asks for N simulation shards claims N cores while
+	// it runs, so a mixed queue of serial and sharded points never runs more
+	// shard goroutines than the pool has workers (the scheduler admits an
+	// over-wide point only on an otherwise idle pool).
 	Workers int
 	// StoreDir persists results as <fingerprint>.json files; "" keeps the
 	// store in memory only (it then dies with the process). Quarantined
@@ -127,7 +131,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg, store: store, poison: poison,
-		sched: newScheduler(poison, cfg.Retry, cfg.MaxQueue),
+		sched: newScheduler(poison, cfg.Retry, cfg.MaxQueue, cfg.Workers),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.run = cfg.RunPoint
@@ -183,6 +187,9 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.reg.Register("sweepd.workers.utilization", "fraction of the worker pool executing a point", func() float64 {
 		return float64(s.busy.Load()) / float64(s.cfg.Workers)
+	})
+	s.reg.Register("sweepd.cores.busy", "cores claimed by running points (sharded points claim their shard count)", func() float64 {
+		return float64(s.sched.counts().coresBusy)
 	})
 	return s, nil
 }

@@ -1,0 +1,132 @@
+package sweepd
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gem5rtl/internal/experiments"
+	"gem5rtl/internal/sim"
+)
+
+// shardSpecs builds n distinct specs asking for the given shard count.
+func shardSpecs(n, shards int) []experiments.RunSpec {
+	inflights := []int{1, 2, 4, 8, 16, 32, 64, 128, 240, 3, 5, 6}
+	specs := make([]experiments.RunSpec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, experiments.RunSpec{
+			Workload: "sanity3", NVDLAs: 4, Memory: "ideal",
+			Inflight: inflights[i], Scale: 32, Limit: sim.Second,
+			Shards: shards,
+		})
+	}
+	return specs
+}
+
+// TestShardedPointsBudgetCores asserts the worker-vs-shard core budget: on a
+// 4-worker pool, points asking for 2 shards each must never run more than 2
+// at a time (2 points × 2 shard goroutines = the 4-core budget), even though
+// 4 worker goroutines are available to claim them.
+func TestShardedPointsBudgetCores(t *testing.T) {
+	const workers = 4
+	var cur, peak atomic.Int64
+	release := make(chan struct{})
+	run := func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		<-release
+		cur.Add(-1)
+		return 1, nil
+	}
+	s, err := New(Config{Workers: workers, RunPoint: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	j, err := s.sched.submit(s.store, SubmitRequest{Specs: shardSpecs(6, 2)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the pool take everything it is willing to: concurrency must settle
+	// at 2 (budget 4 / weight 2), not the 4 the worker count would allow.
+	deadline := time.Now().Add(5 * time.Second)
+	for cur.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := cur.Load(); got != 2 {
+		t.Errorf("concurrent sharded points = %d, want 2 (budget %d, weight 2)", got, workers)
+	}
+	close(release)
+	waitDone(t, j)
+	if got := peak.Load(); got > 2 {
+		t.Errorf("peak concurrent sharded points = %d, want <= 2", got)
+	}
+	res, ok := s.sched.results(j)
+	if !ok {
+		t.Fatal("job did not finish")
+	}
+	for _, r := range res {
+		if r.Err != "" {
+			t.Errorf("%v: %s", r.Spec, r.Err)
+		}
+	}
+}
+
+// TestOverWideShardedPointRunsSolo asserts the deadlock escape: a point whose
+// shard demand exceeds the whole budget is admitted alone on an idle pool.
+func TestOverWideShardedPointRunsSolo(t *testing.T) {
+	var cur, peak atomic.Int64
+	run := func(ctx context.Context, spec experiments.RunSpec) (sim.Tick, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		cur.Add(-1)
+		return 1, nil
+	}
+	s, err := New(Config{Workers: 2, RunPoint: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	j, err := s.sched.submit(s.store, SubmitRequest{Specs: shardSpecs(3, 5)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if got := peak.Load(); got != 1 {
+		t.Errorf("peak concurrency for weight-5 points on a 2-core budget = %d, want 1", got)
+	}
+}
+
+// TestPointWeightClampsToShards pins the weight function against soc.Build's
+// shard clamp.
+func TestPointWeightClampsToShards(t *testing.T) {
+	cases := []struct {
+		shards, nvdlas, want int
+	}{
+		{0, 4, 1}, {1, 4, 1}, {2, 4, 2}, {4, 4, 4},
+		{8, 2, 3}, // clamped to 1 + NVDLAs
+		{3, 0, 1},
+	}
+	for _, c := range cases {
+		spec := experiments.RunSpec{Shards: c.shards, NVDLAs: c.nvdlas}
+		if got := pointWeight(spec); got != c.want {
+			t.Errorf("pointWeight(shards=%d, nvdlas=%d) = %d, want %d",
+				c.shards, c.nvdlas, got, c.want)
+		}
+	}
+}
